@@ -1,0 +1,177 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -all                      # every figure + ablations
+//	experiments -fig 8                    # one figure
+//	experiments -table 2                  # one table
+//	experiments -report EXPERIMENTS.md    # write the full markdown report
+//	experiments -quick -fig 8             # short traces, 2 cores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all       = fs.Bool("all", false, "run every figure and ablation")
+		fig       = fs.Int("fig", 0, "figure number to regenerate (2,3,4,8,9,10,11,12)")
+		table     = fs.Int("table", 0, "table number to print (1,2)")
+		report    = fs.String("report", "", "write the full markdown report to this file")
+		quick     = fs.Bool("quick", false, "short traces and 2 cores (smoke test)")
+		cores     = fs.Int("cores", 8, "simulated cores")
+		refs      = fs.Int("refs", 500_000, "measured references per run")
+		warmup    = fs.Int("warmup", 500_000, "warmup references per run")
+		wl        = fs.String("workloads", "", "comma-separated benchmark subset")
+		ablations = fs.Bool("ablations", false, "include the §4.6 ablation sweeps")
+		csvDir    = fs.String("csv", "", "write per-figure CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Cores = *cores
+	opts.MaxRefs = *refs
+	opts.WarmupRefs = *warmup
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *wl != "" {
+		opts.Workloads = strings.Split(*wl, ",")
+	}
+
+	if *csvDir != "" {
+		paths, err := experiments.WriteCSVs(*csvDir, experiments.NewRunner(opts))
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Fprintln(out, p)
+		}
+		return nil
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.Report(f, opts, true); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *report)
+		return nil
+	}
+	if *all {
+		return experiments.Report(out, opts, *ablations)
+	}
+
+	r := experiments.NewRunner(opts)
+	switch {
+	case *table == 1:
+		fmt.Fprint(out, experiments.Table1())
+	case *table == 2:
+		fmt.Fprint(out, experiments.Table2())
+	case *fig == 2:
+		rows, err := experiments.Figure2(r)
+		if err != nil {
+			return err
+		}
+		names, vals := make([]string, len(rows)), make([]float64, len(rows))
+		for i, row := range rows {
+			names[i], vals[i] = row.Name, row.SimCyc
+		}
+		fmt.Fprint(out, experiments.RenderBars("Figure 2 — simulated baseline cycles per L2 TLB miss", names, vals, "cyc"))
+	case *fig == 3:
+		rows, err := experiments.Figure3(r)
+		if err != nil {
+			return err
+		}
+		names, vals := make([]string, len(rows)), make([]float64, len(rows))
+		for i, row := range rows {
+			names[i], vals[i] = row.Name, row.SimRatio
+		}
+		fmt.Fprint(out, experiments.RenderBars("Figure 3 — virtualized / native translation cost", names, vals, "x"))
+	case *fig == 4:
+		t := stats.NewTable("capacity", "normalized latency")
+		for _, pt := range experiments.Figure4() {
+			t.AddRow(fmt.Sprintf("%dKB", pt.CapacityBytes>>10), fmt.Sprintf("%.2f", pt.Normalized))
+		}
+		fmt.Fprint(out, t.String())
+	case *fig == 8:
+		rows, sum, err := experiments.Figure8(r)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("benchmark", "POM-TLB %", "Shared_L2 %", "TSB %")
+		for _, row := range rows {
+			t.AddRow(row.Name, fmt.Sprintf("%.2f", row.POM),
+				fmt.Sprintf("%.2f", row.Shared), fmt.Sprintf("%.2f", row.TSB))
+		}
+		t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", sum.POMGeomeanPct),
+			fmt.Sprintf("%.2f", sum.SharedGeomeanPct), fmt.Sprintf("%.2f", sum.TSBGeomeanPct))
+		fmt.Fprint(out, t.String())
+	case *fig == 9:
+		rows, err := experiments.Figure9(r)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("benchmark", "L2D$", "L3D$", "POM-TLB", "walk elim")
+		for _, row := range rows {
+			t.AddRow(row.Name, stats.Pct(row.L2D), stats.Pct(row.L3D),
+				stats.Pct(row.POM), stats.Pct(row.WalkEl))
+		}
+		fmt.Fprint(out, t.String())
+	case *fig == 10:
+		rows, err := experiments.Figure10(r)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("benchmark", "size acc", "bypass acc")
+		for _, row := range rows {
+			t.AddRow(row.Name, stats.Pct(row.SizeAcc), stats.Pct(row.BypassAcc))
+		}
+		fmt.Fprint(out, t.String())
+	case *fig == 11:
+		rows, err := experiments.Figure11(r)
+		if err != nil {
+			return err
+		}
+		names, vals := make([]string, len(rows)), make([]float64, len(rows))
+		for i, row := range rows {
+			names[i], vals[i] = row.Name, 100*row.RBH
+		}
+		fmt.Fprint(out, experiments.RenderBars("Figure 11 — POM-TLB row-buffer hit rate", names, vals, "%"))
+	case *fig == 12:
+		rows, withAvg, noAvg, err := experiments.Figure12(r)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("benchmark", "with caching %", "without %")
+		for _, row := range rows {
+			t.AddRow(row.Name, fmt.Sprintf("%.2f", row.WithCache), fmt.Sprintf("%.2f", row.NoCache))
+		}
+		t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", withAvg), fmt.Sprintf("%.2f", noAvg))
+		fmt.Fprint(out, t.String())
+	default:
+		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N or -report FILE")
+	}
+	return nil
+}

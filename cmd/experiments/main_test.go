@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickArgs(extra ...string) []string {
+	return append([]string{"-quick", "-workloads", "gups,streamcluster"}, extra...)
+}
+
+func TestTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "L2 Unified TLB") {
+		t.Error("table 1 output wrong")
+	}
+	sb.Reset()
+	if err := run([]string{"-table", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mcf") {
+		t.Error("table 2 output wrong")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for _, fig := range []string{"4", "8", "9", "10", "11", "12"} {
+		var sb strings.Builder
+		if err := run(quickArgs("-fig", fig), &sb); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(sb.String()) == 0 {
+			t.Errorf("fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestNoArgsErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no action should error")
+	}
+}

@@ -1,0 +1,216 @@
+// Command pomsim runs one POM-TLB simulation and prints its statistics.
+//
+// Usage:
+//
+//	pomsim -workload mcf -mode pom-tlb -cores 8 -refs 500000
+//	pomsim -config experiment.json
+//	pomsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pomsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (core.Mode, error) {
+	for m := core.Baseline; m <= core.TSB; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q (baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb)", s)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pomsim", flag.ContinueOnError)
+	var (
+		workload = fs.String("workload", "mcf", "Table 2 benchmark name")
+		mode     = fs.String("mode", "pom-tlb", "translation scheme: baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb")
+		cores    = fs.Int("cores", 8, "simulated cores")
+		vms      = fs.Int("vms", 1, "virtual machines")
+		refs     = fs.Int("refs", 500_000, "measured memory references")
+		warmup   = fs.Int("warmup", 500_000, "warmup references")
+		pomMB    = fs.Uint64("pom-mb", 16, "POM-TLB capacity in MB")
+		native   = fs.Bool("native", false, "bare-metal run (no virtualization)")
+		seed     = fs.Uint64("seed", 1, "trace generator seed")
+		cfgPath  = fs.String("config", "", "JSON config file (overrides other flags)")
+		trcPath  = fs.String("trace", "", "replay a binary trace file instead of the synthetic generator")
+		jsonOut  = fs.Bool("json", false, "emit the full result as JSON instead of the summary table")
+		compare  = fs.Bool("compare", false, "run every scheme on the workload and print a comparison")
+		list     = fs.Bool("list", false, "list workloads and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range workloads.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+
+	var file config.File
+	if *cfgPath != "" {
+		var err error
+		file, err = config.Load(*cfgPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Mode = m
+		cfg.Cores = *cores
+		cfg.VMs = *vms
+		cfg.Virtualized = !*native
+		cfg.MaxRefs = *refs
+		cfg.WarmupRefs = *warmup
+		cfg.POM.SizeBytes = *pomMB << 20
+		cfg.Seed = *seed
+		file = config.File{Workload: *workload, Config: cfg}
+	}
+
+	p, ok := workloads.ByName(file.Workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try -list)", file.Workload)
+	}
+	if *compare {
+		return runComparison(out, p, file.Config)
+	}
+	sys, err := core.NewSystem(file.Config)
+	if err != nil {
+		return err
+	}
+	var gen trace.Generator = p.Generator(file.Config.Cores, file.Config.Seed)
+	label := p.Name
+	if *trcPath != "" {
+		f, err := os.Open(*trcPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		replay, err := trace.LoadReplay(f)
+		if err != nil {
+			return err
+		}
+		gen = replay
+		label = *trcPath
+	}
+	res, err := sys.Run(gen, label)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	printResult(out, p, res)
+	return nil
+}
+
+func printResult(out io.Writer, p workloads.Profile, res core.Result) {
+	fmt.Fprintf(out, "workload  %s (%s, %d MB footprint, %.1f%% large pages)\n",
+		p.Name, p.Pattern, p.FootprintBytes>>20, p.LargePagePct)
+	fmt.Fprintf(out, "scheme    %s\n", res.Mode)
+	fmt.Fprintf(out, "refs      %d  (IPC %.3f)\n\n", res.Records, res.IPC())
+
+	t := stats.NewTable("metric", "value")
+	t.AddRow("L1 TLB hit", stats.Pct(res.L1TLB.Ratio()))
+	t.AddRow("L2 TLB hit", stats.Pct(res.L2TLB.Ratio()))
+	t.AddRow("P_avg (cycles per L2 TLB miss)", fmt.Sprintf("%.1f", res.AvgPenalty()))
+	t.AddRow("page walks eliminated", stats.Pct(res.WalkEliminationRate()))
+	if res.L2DProbe.Total() > 0 {
+		t.AddRow("POM set hits in L2D$", stats.Pct(res.L2DProbe.Ratio()))
+		t.AddRow("POM set hits in L3D$", stats.Pct(res.L3DProbe.Ratio()))
+	}
+	if res.POMDRAM.Total() > 0 {
+		t.AddRow("POM-TLB (DRAM) hit", stats.Pct(res.POMDRAM.Ratio()))
+		t.AddRow("POM-TLB row-buffer hit", stats.Pct(res.POMDRAMStats.RowBufferHitRate()))
+	}
+	if res.SizePred.Total() > 0 {
+		t.AddRow("size predictor accuracy", stats.Pct(res.SizePred.Ratio()))
+	}
+	if res.BypassPred.Total() > 0 {
+		t.AddRow("bypass predictor accuracy", stats.Pct(res.BypassPred.Ratio()))
+	}
+	if res.SharedTLB.Total() > 0 {
+		t.AddRow("shared TLB hit", stats.Pct(res.SharedTLB.Ratio()))
+	}
+	if res.TSBLookups.Total() > 0 {
+		t.AddRow("TSB hit", stats.Pct(res.TSBLookups.Ratio()))
+	}
+	t.AddRow("mean data-access latency", fmt.Sprintf("%.1f cycles", res.DataLat.Value()))
+	fmt.Fprint(out, t.String())
+
+	if res.Mode != core.Baseline {
+		if imp, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p, capPen(res.AvgPenalty(), p.CyclesPerMissVirt))); err == nil {
+			fmt.Fprintf(out, "\nmodelled improvement over measured baseline: %.2f%%\n", imp)
+		}
+	}
+
+	fmt.Fprintf(out, "\nresolved at: ")
+	for lvl := core.ResL1TLB; lvl < core.ResWalk+1; lvl++ {
+		if n := res.Resolved[lvl]; n > 0 {
+			fmt.Fprintf(out, "%s=%d ", lvl, n)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// runComparison runs every translation scheme on one workload and prints
+// the per-scheme penalties and modelled improvements side by side.
+func runComparison(out io.Writer, p workloads.Profile, base core.Config) error {
+	t := stats.NewTable("scheme", "P_avg", "walk elim", "improvement %")
+	for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.POMTLBNoCache,
+		core.SharedL2, core.TSB, core.L4Cache} {
+		cfg := base
+		cfg.Mode = mode
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(p.Generator(cfg.Cores, cfg.Seed), p.Name)
+		if err != nil {
+			return err
+		}
+		imp := "—"
+		if mode != core.Baseline && mode != core.L4Cache {
+			if v, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p,
+				capPen(res.AvgPenalty(), p.CyclesPerMissVirt))); err == nil {
+				imp = fmt.Sprintf("%.2f", v)
+			}
+		}
+		t.AddRow(mode.String(), fmt.Sprintf("%.1f", res.AvgPenalty()),
+			stats.Pct(res.WalkEliminationRate()), imp)
+	}
+	fmt.Fprintf(out, "workload %s — all schemes, identical trace\n\n%s", p.Name, t.String())
+	return nil
+}
+
+func capPen(pen, base float64) float64 {
+	if pen > base {
+		return base
+	}
+	return pen
+}

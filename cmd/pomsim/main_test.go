@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, name := range []string{"baseline", "pom-tlb", "pom-tlb-nocache", "shared-l2", "tsb"} {
+		if _, err := parseMode(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mcf") || !strings.Contains(sb.String(), "gups") {
+		t.Errorf("list output:\n%s", sb.String())
+	}
+}
+
+func TestRunSimulation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "gups", "-cores", "2",
+		"-refs", "20000", "-warmup", "40000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"gups", "pom-tlb", "P_avg", "page walks eliminated", "modelled improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBaselineNative(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "streamcluster", "-mode", "baseline", "-native",
+		"-cores", "2", "-refs", "10000", "-warmup", "10000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "modelled improvement") {
+		t.Error("baseline run should not model an improvement")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "nope", "-refs", "10", "-warmup", "0"}, &sb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-mode", "nope"}, &sb); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-config", "/does/not/exist.json"}, &sb); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunFromConfigFile(t *testing.T) {
+	f := config.Default()
+	f.Workload = "gups"
+	f.Config.Mode = core.Baseline
+	f.Config.Cores = 2
+	f.Config.MaxRefs = 10_000
+	f.Config.WarmupRefs = 10_000
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := config.Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "baseline") {
+		t.Errorf("config file not honoured:\n%s", sb.String())
+	}
+}
+
+func TestCapPen(t *testing.T) {
+	if capPen(200, 100) != 100 || capPen(50, 100) != 50 {
+		t.Error("capPen wrong")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "gups", "-cores", "2",
+		"-refs", "5000", "-warmup", "5000", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := jsonUnmarshal(sb.String(), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if _, ok := decoded["L2TLB"]; !ok {
+		t.Error("JSON missing L2TLB field")
+	}
+}
+
+func jsonUnmarshal(s string, v any) error {
+	return json.Unmarshal([]byte(s), v)
+}
+
+func TestRunCompare(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "gups", "-cores", "2",
+		"-refs", "8000", "-warmup", "20000", "-compare"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"baseline", "pom-tlb", "shared-l2", "tsb", "l4-cache", "walk elim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}

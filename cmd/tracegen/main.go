@@ -1,0 +1,130 @@
+// Command tracegen generates the synthetic memory traces the simulator
+// consumes, writes them in the binary trace format, and inspects existing
+// trace files.
+//
+// Usage:
+//
+//	tracegen -workload gups -n 1000000 -o gups.trc
+//	tracegen -inspect gups.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		workload = fs.String("workload", "gups", "Table 2 benchmark name")
+		n        = fs.Int("n", 1_000_000, "records to generate")
+		threads  = fs.Int("threads", 8, "trace threads")
+		seed     = fs.Uint64("seed", 1, "generator seed")
+		outPath  = fs.String("o", "", "output file (default <workload>.trc)")
+		inspect  = fs.String("inspect", "", "summarize an existing trace file and exit")
+		analyze  = fs.Bool("analyze", false, "print a locality analysis instead of writing a file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inspect != "" {
+		return summarize(out, *inspect)
+	}
+
+	p, ok := workloads.ByName(*workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	if *analyze {
+		a := trace.Analyze(p.Generator(*threads, *seed), *n)
+		fmt.Fprintf(out, "%s (%s pattern)\n%s", p.Name, p.Pattern, a)
+		fmt.Fprintf(out, "hot set (90%% of reuses): ≈ %d pages\n", a.HotSetPages(0.9))
+		return nil
+	}
+	path := *outPath
+	if path == "" {
+		path = p.Name + ".trc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteAll(w, p.Generator(*threads, *seed), *n); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d records for %s to %s\n", w.Count(), p.Name, path)
+	return nil
+}
+
+func summarize(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		n, writes, large uint64
+		gaps             float64
+		pages            = map[uint64]bool{}
+		threads          = map[uint8]bool{}
+		minVA, maxVA     addr.VA
+	)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 || rec.VA < minVA {
+			minVA = rec.VA
+		}
+		if rec.VA > maxVA {
+			maxVA = rec.VA
+		}
+		n++
+		if rec.Write {
+			writes++
+		}
+		if rec.Size == addr.Page2M {
+			large++
+		}
+		gaps += float64(rec.Gap)
+		pages[rec.VA.VPN(rec.Size)] = true
+		threads[rec.Thread] = true
+	}
+	if n == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	fmt.Fprintf(out, "records        %d\n", n)
+	fmt.Fprintf(out, "threads        %d\n", len(threads))
+	fmt.Fprintf(out, "distinct pages %d\n", len(pages))
+	fmt.Fprintf(out, "writes         %.1f%%\n", 100*float64(writes)/float64(n))
+	fmt.Fprintf(out, "2MB accesses   %.1f%%\n", 100*float64(large)/float64(n))
+	fmt.Fprintf(out, "mean gap       %.1f instructions\n", gaps/float64(n))
+	fmt.Fprintf(out, "VA range       %v .. %v\n", minVA, maxVA)
+	return nil
+}

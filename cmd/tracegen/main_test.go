@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gups.trc")
+	var sb strings.Builder
+	if err := run([]string{"-workload", "gups", "-n", "5000", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "5000 records") {
+		t.Errorf("generate output: %s", sb.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() < 5000*16 {
+		t.Fatalf("trace file wrong: %v, %v", fi, err)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-inspect", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"records        5000", "threads", "distinct pages", "VA range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "nope"}, &sb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-inspect", "/does/not/exist"}, &sb); err == nil {
+		t.Error("missing trace accepted")
+	}
+	// Not a trace file.
+	bad := filepath.Join(t.TempDir(), "bad.trc")
+	os.WriteFile(bad, []byte("garbage garbage"), 0o644)
+	if err := run([]string{"-inspect", bad}, &sb); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestAnalyzeFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "mcf", "-n", "20000", "-analyze"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mcf", "footprint", "page reuse", "hot set"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Capacity reproduces the Section 4.6 ablation: sweeping the POM-TLB from
+// 8 MB to 32 MB barely moves the results, because even 8 MB holds orders
+// of magnitude more translations than any SRAM TLB reaches — while
+// shrinking it to a cache-like 256 KB finally shows capacity misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	p, _ := workloads.ByName("mcf")
+
+	fmt.Printf("workload: %s (%d MB footprint)\n\n", p.Name, p.FootprintBytes>>20)
+	fmt.Println("POM-TLB size | entries  | walk elim | P_avg | POM DRAM hit")
+	fmt.Println("-------------+----------+-----------+-------+-------------")
+	for _, kb := range []uint64{256, 8 << 10, 16 << 10, 32 << 10} {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.POMTLB
+		cfg.Cores = 4
+		cfg.POM.SizeBytes = kb << 10
+		cfg.WarmupRefs = 300_000
+		cfg.MaxRefs = 200_000
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(p.Generator(cfg.Cores, 1), p.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries := sys.POM().Small.Entries() + sys.POM().Large.Entries()
+		fmt.Printf("%8d KB | %8d | %8.1f%% | %5.1f | %10.1f%%\n",
+			kb, entries, 100*res.WalkEliminationRate(), res.AvgPenalty(),
+			100*res.POMDRAM.Ratio())
+	}
+
+	fmt.Println()
+	fmt.Println("8→32 MB: nearly identical (the paper reports <1% difference);")
+	fmt.Println("only an unrealistically small 256 KB TLB shows capacity pressure.")
+}

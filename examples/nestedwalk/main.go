@@ -1,0 +1,69 @@
+// Nestedwalk reproduces Figure 1: it maps one guest page under a
+// hypervisor and prints every memory reference of the cold two-dimensional
+// page walk — up to 24 of them — then shows how the page-structure caches
+// and nested TLB collapse the warm walk to a single reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	"repro/internal/pagetable"
+	"repro/internal/virt"
+)
+
+func main() {
+	hyp := virt.NewHypervisor(virt.DefaultConfig())
+	vm, err := hyp.NewVM(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	va := addr.VA(0x7f12_3456_7000)
+	if _, err := vm.Touch(1, va, addr.Page4K); err != nil {
+		log.Fatal(err)
+	}
+
+	// A walker whose memory callback prints each PTE reference in the
+	// Figure 1 order: four host levels per guest level, then the guest
+	// PTE read, and a final host walk for the data address.
+	ref := 0
+	walker := pagetable.NewWalker(pagetable.DefaultWalkerConfig(),
+		func(a addr.HPA, write bool) uint64 {
+			ref++
+			fmt.Printf("  ref %2d: read PTE at %v\n", ref, a)
+			return 100 // flat 100-cycle memory for illustration
+		})
+
+	fmt.Printf("cold 2D walk of %v (guest VM 1):\n", va)
+	res := walker.Translate2D(vm.GuestTable(1), vm.EPT(), 1, 1, va)
+	if !res.OK {
+		log.Fatal("walk faulted")
+	}
+	fmt.Printf("→ %d references, %d cycles, hPFN %#x (%s page)\n\n",
+		res.Refs, res.Latency, res.HPFN, res.Size)
+
+	fmt.Println("warm walk of the same address (PSC + nested TLB hits):")
+	ref = 0
+	res = walker.Translate2D(vm.GuestTable(1), vm.EPT(), 1, 1, va)
+	fmt.Printf("→ %d reference(s), %d cycles\n\n", res.Refs, res.Latency)
+
+	fmt.Println("for comparison, a cold native (non-virtualized) walk:")
+	if _, _, err := hyp.TouchNative(1, va, addr.Page4K); err != nil {
+		log.Fatal(err)
+	}
+	ref = 0
+	nat := pagetable.NewWalker(pagetable.DefaultWalkerConfig(),
+		func(a addr.HPA, write bool) uint64 {
+			ref++
+			fmt.Printf("  ref %2d: read PTE at %v\n", ref, a)
+			return 100
+		})
+	nres := nat.TranslateNative(hyp.NativeProcess(1), 0, 1, va)
+	fmt.Printf("→ %d references, %d cycles\n", nres.Refs, nres.Latency)
+
+	fmt.Println("\nvirtualization turns a 4-reference walk into a 24-reference one,")
+	fmt.Println("which is why the paper adds a DRAM L3 TLB that resolves misses in")
+	fmt.Println("ONE access.")
+}

@@ -1,0 +1,329 @@
+// Package cache implements the set-associative write-back data caches of
+// Table 1 (L1I/L1D 32 KB 8-way, L2 256 KB 4-way, L3 8 MB 16-way) with true
+// LRU replacement.
+//
+// The one non-standard feature — and the reason the paper's idea works at
+// all — is that every resident line is tagged with what it holds: ordinary
+// program data or a POM-TLB entry set. Because the POM-TLB is mapped into
+// the physical address space, its 64 B sets are cached here like any other
+// line; tagging lets the simulator report the TLB-entry hit ratios of
+// Figure 9 and the cache-occupancy interference discussed in Section 5.1
+// without changing the replacement behaviour.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/stats"
+)
+
+// Kind says what a cache line holds. Replacement is kind-blind (the paper's
+// design caches TLB entries "like data"); the kind exists purely so the
+// statistics can be split.
+type Kind uint8
+
+const (
+	// Data marks ordinary program load/store lines.
+	Data Kind = iota
+	// TLBEntry marks lines holding POM-TLB sets.
+	TLBEntry
+
+	numKinds = 2
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == TLBEntry {
+		return "tlb-entry"
+	}
+	return "data"
+}
+
+// Priority selects the Section 5.1 "TLB-aware caching" policy: which line
+// kind the replacement policy prefers to *retain*. The victim search first
+// considers lines of the other kind (LRU among them) and only falls back
+// to evicting a preferred line when the whole set holds the preferred
+// kind.
+type Priority uint8
+
+const (
+	// NoPriority is the paper's default: replacement is kind-blind.
+	NoPriority Priority = iota
+	// PreferTLB retains POM-TLB entry lines over data — for workloads
+	// whose L2 TLB misses are more expensive than their data misses.
+	PreferTLB
+	// PreferData retains data lines over TLB entries.
+	PreferData
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PreferTLB:
+		return "prefer-tlb"
+	case PreferData:
+		return "prefer-data"
+	}
+	return "none"
+}
+
+// preferred returns the retained kind, and whether a preference exists.
+func (p Priority) preferred() (Kind, bool) {
+	switch p {
+	case PreferTLB:
+		return TLBEntry, true
+	case PreferData:
+		return Data, true
+	}
+	return Data, false
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in stats output ("L1D", "L2", "L3").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes uint64
+	// Ways is the associativity.
+	Ways int
+	// Latency is the hit latency in CPU cycles.
+	Latency uint64
+	// Priority is the Section 5.1 TLB-aware replacement policy.
+	Priority Priority
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %q: size and ways must be positive", c.Name)
+	case c.SizeBytes%(uint64(c.Ways)*addr.CacheLineSize) != 0:
+		return fmt.Errorf("cache %q: size %d not divisible into %d ways of 64B lines", c.Name, c.SizeBytes, c.Ways)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() uint64 {
+	return c.SizeBytes / (uint64(c.Ways) * addr.CacheLineSize)
+}
+
+// Table 1 cache levels.
+
+// L1I returns the 32 KB 8-way 4-cycle instruction cache config.
+func L1I() Config { return Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, Latency: 4} }
+
+// L1D returns the 32 KB 8-way 4-cycle data cache config.
+func L1D() Config { return Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, Latency: 4} }
+
+// L2 returns the 256 KB 4-way 12-cycle unified cache config.
+func L2() Config { return Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4, Latency: 12} }
+
+// L3 returns the 8 MB 16-way 42-cycle shared cache config.
+func L3() Config { return Config{Name: "L3", SizeBytes: 8 << 20, Ways: 16, Latency: 42} }
+
+// way is one line frame.
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	kind  Kind
+	lru   uint64 // higher = more recently used
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	// Valid is true when a line was actually displaced.
+	Valid bool
+	// Line is the displaced line address (address >> 6).
+	Line uint64
+	// Dirty is true when the displaced line needs a write-back.
+	Dirty bool
+	// Kind is what the displaced line held.
+	Kind Kind
+}
+
+// Stats holds per-kind access counters for one cache level.
+type Stats struct {
+	// Access counts lookups split by line kind.
+	Access [numKinds]stats.HitMiss
+	// Evictions counts displaced lines by kind — how often TLB entries
+	// push out data and vice versa (Section 5.1).
+	Evictions [numKinds]uint64
+	// Writebacks counts dirty evictions.
+	Writebacks uint64
+}
+
+// DataHitRate returns the hit ratio for ordinary data lines.
+func (s Stats) DataHitRate() float64 { return s.Access[Data].Ratio() }
+
+// TLBHitRate returns the hit ratio for POM-TLB entry lines (Figure 9).
+func (s Stats) TLBHitRate() float64 { return s.Access[TLBEntry].Ratio() }
+
+// Cache is one level of a write-back, write-allocate cache.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	clock   uint64
+	stats   Stats
+
+	// resident tracks how many currently-valid lines hold each kind, so
+	// occupancy interference is observable.
+	resident [numKinds]uint64
+}
+
+// New builds a cache level; it panics on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets()
+	sets := make([][]way, n)
+	backing := make([]way, n*uint64(cfg.Ways))
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: n - 1}
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// setIndex maps a line address to its set.
+func (c *Cache) setIndex(line uint64) uint64 { return line & c.setMask }
+
+// Lookup probes for a line without recording statistics or changing
+// anything; used by tests and inclusive-hierarchy checks.
+func (c *Cache) Lookup(line uint64) bool {
+	for i := range c.sets[c.setIndex(line)] {
+		w := &c.sets[c.setIndex(line)][i]
+		if w.valid && w.tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a load (write=false) or store (write=true) of the line
+// and returns whether it hit. On a hit the LRU state advances and a store
+// marks the line dirty. On a miss nothing is allocated — callers model the
+// miss path explicitly and then Fill the line, mirroring how the simulator
+// threads a miss down the hierarchy.
+func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
+	c.clock++
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			w.lru = c.clock
+			if write {
+				w.dirty = true
+			}
+			c.stats.Access[kind].Hit()
+			return true
+		}
+	}
+	c.stats.Access[kind].Miss()
+	return false
+}
+
+// Fill inserts a line after a miss was resolved below, evicting a victim
+// if needed, and returns the eviction (if any). A fill for a store arrives
+// dirty. The victim is the LRU way, except under a Section 5.1 priority
+// policy, where non-preferred lines are evicted first.
+func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
+	c.clock++
+	set := c.sets[c.setIndex(line)]
+	victim := -1
+	victimPreferred := false
+	pref, hasPref := c.cfg.Priority.preferred()
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			// Already present (e.g. filled by a racing sibling): refresh.
+			w.lru = c.clock
+			if write {
+				w.dirty = true
+			}
+			return Eviction{}
+		}
+		if !w.valid {
+			victim = i
+			victimPreferred = false
+			break
+		}
+		wPreferred := hasPref && w.kind == pref
+		switch {
+		case victim == -1:
+			victim, victimPreferred = i, wPreferred
+		case victimPreferred && !wPreferred:
+			// A non-preferred line always beats a preferred one.
+			victim, victimPreferred = i, wPreferred
+		case victimPreferred == wPreferred && w.lru < set[victim].lru:
+			victim = i
+		}
+	}
+	w := &set[victim]
+	var ev Eviction
+	if w.valid {
+		ev = Eviction{Valid: true, Line: w.tag, Dirty: w.dirty, Kind: w.kind}
+		c.stats.Evictions[w.kind]++
+		if w.dirty {
+			c.stats.Writebacks++
+		}
+		c.resident[w.kind]--
+	}
+	*w = way{tag: line, valid: true, dirty: write, kind: kind, lru: c.clock}
+	c.resident[kind]++
+	return ev
+}
+
+// Invalidate drops a line if present, returning whether it was dirty. Used
+// for TLB shootdowns of cached POM-TLB sets.
+func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			c.resident[w.kind]--
+			present, dirty = true, w.dirty
+			*w = way{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateKind drops every line of the given kind (used by conservative
+// flushes of cached POM-TLB sets) and returns the count dropped.
+func (c *Cache) InvalidateKind(kind Kind) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].kind == kind {
+				set[i] = way{}
+				c.resident[kind]--
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Resident returns how many valid lines currently hold the given kind.
+func (c *Cache) Resident(kind Kind) uint64 { return c.resident[kind] }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters; contents are untouched.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

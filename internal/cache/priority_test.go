@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyWithPriority(p Priority) *Cache {
+	return New(Config{Name: "tiny", SizeBytes: 4 * 64, Ways: 4, Latency: 1, Priority: p})
+}
+
+func TestPriorityString(t *testing.T) {
+	if NoPriority.String() != "none" || PreferTLB.String() != "prefer-tlb" || PreferData.String() != "prefer-data" {
+		t.Error("Priority.String wrong")
+	}
+}
+
+func TestPreferTLBEvictsDataFirst(t *testing.T) {
+	c := tinyWithPriority(PreferTLB) // one set, 4 ways (lines ≡ 0 mod 1)
+	c.Fill(0, false, TLBEntry)       // oldest
+	c.Fill(1, false, Data)
+	c.Fill(2, false, TLBEntry)
+	c.Fill(3, false, Data)
+	// Kind-blind LRU would evict line 0 (TLB). Preference evicts the LRU
+	// *data* line instead: line 1.
+	ev := c.Fill(4, false, Data)
+	if !ev.Valid || ev.Line != 1 || ev.Kind != Data {
+		t.Errorf("eviction = %+v, want data line 1", ev)
+	}
+	if !c.Lookup(0) || !c.Lookup(2) {
+		t.Error("TLB lines should survive")
+	}
+}
+
+func TestPreferTLBFallsBackWhenSetAllTLB(t *testing.T) {
+	c := tinyWithPriority(PreferTLB)
+	for line := uint64(0); line < 4; line++ {
+		c.Fill(line, false, TLBEntry)
+	}
+	ev := c.Fill(4, false, TLBEntry)
+	if !ev.Valid || ev.Line != 0 || ev.Kind != TLBEntry {
+		t.Errorf("eviction = %+v, want LRU TLB line 0", ev)
+	}
+}
+
+func TestPreferDataEvictsTLBFirst(t *testing.T) {
+	c := tinyWithPriority(PreferData)
+	c.Fill(0, false, Data)
+	c.Fill(1, false, TLBEntry)
+	c.Fill(2, false, Data)
+	c.Fill(3, false, TLBEntry)
+	ev := c.Fill(4, false, Data)
+	if !ev.Valid || ev.Line != 1 || ev.Kind != TLBEntry {
+		t.Errorf("eviction = %+v, want TLB line 1", ev)
+	}
+}
+
+func TestNoPriorityIsPlainLRU(t *testing.T) {
+	c := tinyWithPriority(NoPriority)
+	c.Fill(0, false, TLBEntry)
+	c.Fill(1, false, Data)
+	c.Fill(2, false, Data)
+	c.Fill(3, false, Data)
+	ev := c.Fill(4, false, Data)
+	if ev.Line != 0 {
+		t.Errorf("kind-blind LRU should evict line 0, got %+v", ev)
+	}
+}
+
+func TestPriorityInvalidWaysStillPreferred(t *testing.T) {
+	c := tinyWithPriority(PreferTLB)
+	c.Fill(0, false, TLBEntry)
+	// Set has 3 empty ways: no eviction regardless of priority.
+	if ev := c.Fill(1, false, Data); ev.Valid {
+		t.Errorf("fill into non-full set evicted %+v", ev)
+	}
+}
+
+// Property: under PreferTLB on a single-set cache, a TLB line is evicted
+// only when the set holds no data line (tracked with a shadow model).
+func TestPreferTLBProperty(t *testing.T) {
+	c := tinyWithPriority(PreferTLB) // single set
+	shadow := map[uint64]Kind{}      // resident line → kind
+	f := func(raw uint8, tlbKind bool) bool {
+		kind := Data
+		if tlbKind {
+			kind = TLBEntry
+		}
+		line := uint64(raw)
+		_, present := shadow[line]
+		ev := c.Fill(line, false, kind)
+		if ev.Valid {
+			if ev.Kind == TLBEntry {
+				// No data line may have been resident pre-insert.
+				for _, k := range shadow {
+					if k == Data {
+						return false
+					}
+				}
+			}
+			delete(shadow, ev.Line)
+		}
+		if !present {
+			shadow[line] = kind
+		}
+		return len(shadow) <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

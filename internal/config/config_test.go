@@ -1,0 +1,74 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRoundtrip(t *testing.T) {
+	f := Default()
+	f.Workload = "gups"
+	f.Config.Cores = 4
+	f.Config.POM.SizeBytes = 32 << 20
+
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "gups" || got.Config.Cores != 4 || got.Config.POM.SizeBytes != 32<<20 {
+		t.Errorf("roundtrip lost fields: %+v", got)
+	}
+	if got.Config.Mode != core.POMTLB {
+		t.Errorf("mode = %v", got.Config.Mode)
+	}
+}
+
+func TestParsePartialKeepsDefaults(t *testing.T) {
+	got, err := Parse([]byte(`{"workload":"mcf","config":{"Cores":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Cores != 2 {
+		t.Errorf("Cores = %d", got.Config.Cores)
+	}
+	// Unspecified fields keep Table 1 defaults.
+	if got.Config.L2TLB.Entries != 1536 {
+		t.Errorf("partial parse lost defaults: %+v", got.Config.L2TLB)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse([]byte(`{"workload":"","config":{}}`)); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Parse([]byte(`{"workload":"mcf","config":{"Cores":0}}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	f := Default()
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != f.Workload || got.Config.Cores != f.Config.Cores {
+		t.Error("save/load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

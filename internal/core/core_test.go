@@ -1,0 +1,342 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// smallConfig returns a quick configuration for unit tests. The warmup
+// must cover the test footprint (≈ 23k pages for 96 MB) so measured
+// references hit a warmed POM-TLB, as in the paper's methodology.
+func smallConfig(mode Mode) Config {
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	cfg.Cores = 2
+	cfg.WarmupRefs = 150_000
+	cfg.MaxRefs = 50_000
+	return cfg
+}
+
+// gupsParams is a TLB-hostile reference stream.
+func gupsParams(threads int) trace.Params {
+	return trace.Params{
+		Seed:           3,
+		FootprintBytes: 96 << 20,
+		LargeFrac:      0.1,
+		Threads:        threads,
+		MeanGap:        5,
+		WriteFrac:      0.3,
+	}
+}
+
+func runMode(t *testing.T, mode Mode) Result {
+	t.Helper()
+	cfg := smallConfig(mode)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "gups-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Error("zero cores should be invalid")
+	}
+	bad = DefaultConfig()
+	bad.VMs = 0
+	if bad.Validate() == nil {
+		t.Error("virtualized with zero VMs should be invalid")
+	}
+	bad = DefaultConfig()
+	bad.MaxRefs = 0
+	if bad.Validate() == nil {
+		t.Error("zero MaxRefs should be invalid")
+	}
+	bad = DefaultConfig()
+	bad.L1D.Ways = 0
+	if bad.Validate() == nil {
+		t.Error("bad cache config should be invalid")
+	}
+}
+
+func TestNewSystemRejectsInvalid(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		Baseline: "baseline", POMTLB: "pom-tlb", POMTLBNoCache: "pom-tlb-nocache",
+		SharedL2: "shared-l2", TSB: "tsb",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+	if !strings.HasPrefix(Mode(99).String(), "Mode(") {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestResolveLevelString(t *testing.T) {
+	for r := ResL1TLB; r < numResolveLevels; r++ {
+		if strings.HasPrefix(r.String(), "ResolveLevel(") {
+			t.Errorf("level %d has no name", r)
+		}
+	}
+	if !strings.HasPrefix(ResolveLevel(99).String(), "ResolveLevel(") {
+		t.Error("unknown level string")
+	}
+}
+
+func TestBaselineRuns(t *testing.T) {
+	res := runMode(t, Baseline)
+	if res.Records != 50_000 {
+		t.Errorf("records = %d", res.Records)
+	}
+	if res.L2TLB.Misses == 0 {
+		t.Error("gups over 128MB must miss the L2 TLB")
+	}
+	if res.AvgPenalty() <= 0 {
+		t.Error("baseline penalty should be positive")
+	}
+	if res.Resolved[ResWalk] != res.L2TLB.Misses {
+		t.Errorf("baseline resolves every L2 miss by walking: %d vs %d",
+			res.Resolved[ResWalk], res.L2TLB.Misses)
+	}
+	if res.Walk.Walks2D == 0 {
+		t.Error("virtualized baseline should do 2D walks")
+	}
+	if res.Cycles == 0 || res.Insts == 0 || res.IPC() <= 0 {
+		t.Error("cycle/instruction accounting broken")
+	}
+}
+
+func TestPOMTLBBeatsBaseline(t *testing.T) {
+	base := runMode(t, Baseline)
+	pom := runMode(t, POMTLB)
+	if pom.AvgPenalty() >= base.AvgPenalty() {
+		t.Errorf("POM-TLB penalty %.1f should beat baseline %.1f",
+			pom.AvgPenalty(), base.AvgPenalty())
+	}
+	if pom.WalkEliminationRate() < 0.90 {
+		t.Errorf("POM-TLB should eliminate ~all walks once warm, got %.2f",
+			pom.WalkEliminationRate())
+	}
+	if pom.POMDRAM.Total() == 0 && pom.L2DProbe.Total() == 0 {
+		t.Error("POM path never exercised")
+	}
+}
+
+func TestPOMTLBResolveLevelsAccounted(t *testing.T) {
+	res := runMode(t, POMTLB)
+	var post uint64
+	for _, lvl := range []ResolveLevel{ResL2D, ResL3D, ResPOM, ResWalk} {
+		post += res.Resolved[lvl]
+	}
+	if post != res.L2TLB.Misses {
+		t.Errorf("post-L2-miss resolutions %d != L2 misses %d", post, res.L2TLB.Misses)
+	}
+	if res.Resolved[ResL1TLB]+res.Resolved[ResL2TLB]+post != res.Records {
+		t.Error("total resolutions != records")
+	}
+}
+
+func TestPOMTLBNoCacheSkipsCaches(t *testing.T) {
+	res := runMode(t, POMTLBNoCache)
+	if res.L2DProbe.Total() != 0 || res.L3DProbe.Total() != 0 {
+		t.Error("no-cache mode must not probe data caches for TLB entries")
+	}
+	if res.POMDRAM.Total() == 0 {
+		t.Error("no-cache mode must hit the DRAM TLB")
+	}
+	if res.BypassPred.Total() != 0 {
+		t.Error("bypass predictor is meaningless without caches")
+	}
+	// Figure 12: caching hides DRAM latency, so no-cache is slower.
+	cached := runMode(t, POMTLB)
+	if res.AvgPenalty() <= cached.AvgPenalty() {
+		t.Errorf("no-cache penalty %.1f should exceed cached %.1f",
+			res.AvgPenalty(), cached.AvgPenalty())
+	}
+}
+
+func TestSharedL2Mode(t *testing.T) {
+	res := runMode(t, SharedL2)
+	if res.SharedTLB.Total() == 0 {
+		t.Error("shared TLB never probed")
+	}
+	if res.Resolved[ResShared]+res.Resolved[ResWalk] != res.L2TLB.Misses {
+		t.Error("shared-mode resolution accounting broken")
+	}
+}
+
+func TestTSBMode(t *testing.T) {
+	res := runMode(t, TSB)
+	if res.TSBLookups.Total() == 0 {
+		t.Error("TSB never probed")
+	}
+	if res.Resolved[ResTSB]+res.Resolved[ResWalk] != res.L2TLB.Misses {
+		t.Error("TSB resolution accounting broken")
+	}
+	// Trap cost per miss: TSB penalty must exceed the trap cycles.
+	if res.AvgPenalty() < float64(DefaultConfig().TSBCfg.TrapCycles) {
+		t.Errorf("TSB penalty %.1f below trap cost", res.AvgPenalty())
+	}
+}
+
+func TestSchemeOrderingOnTLBStressWorkload(t *testing.T) {
+	// The paper's Figure 8 ordering: POM-TLB < Shared_L2 (for reach-bound
+	// workloads) and POM-TLB < TSB < Baseline on penalty.
+	pom := runMode(t, POMTLB)
+	tsbRes := runMode(t, TSB)
+	base := runMode(t, Baseline)
+	if !(pom.AvgPenalty() < tsbRes.AvgPenalty()) {
+		t.Errorf("POM (%.1f) should beat TSB (%.1f)", pom.AvgPenalty(), tsbRes.AvgPenalty())
+	}
+	// TSB reach covers this footprint, so it should be at worst on par
+	// with the baseline (in the paper it helps gups only marginally).
+	if tsbRes.AvgPenalty() > base.AvgPenalty()*1.05 {
+		t.Errorf("TSB (%.1f) should be ≲ baseline (%.1f) on a 96MB uniform workload",
+			tsbRes.AvgPenalty(), base.AvgPenalty())
+	}
+}
+
+func TestNativeMode(t *testing.T) {
+	cfg := smallConfig(Baseline)
+	cfg.Virtualized = false
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Walk.WalksNative == 0 || res.Walk.Walks2D != 0 {
+		t.Errorf("native mode walked 2D: %+v", res.Walk)
+	}
+	// Native walks are ≤ 4 refs; virtualized up to 24.
+	virt := runMode(t, Baseline)
+	if res.AvgPenalty() >= virt.AvgPenalty() {
+		t.Errorf("native penalty %.1f should be below virtualized %.1f",
+			res.AvgPenalty(), virt.AvgPenalty())
+	}
+}
+
+func TestMultiVM(t *testing.T) {
+	cfg := smallConfig(POMTLB)
+	cfg.Cores = 4
+	cfg.VMs = 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Hypervisor().VMs() != 2 {
+		t.Fatalf("VMs = %d", sys.Hypervisor().VMs())
+	}
+	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "multivm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both VMs' translations coexist in the POM-TLB.
+	if sys.POM().Small.Count() == 0 {
+		t.Error("POM-TLB empty after multi-VM run")
+	}
+	if res.WalkEliminationRate() < 0.5 {
+		t.Errorf("multi-VM walk elimination = %.2f", res.WalkEliminationRate())
+	}
+}
+
+func TestStreamingWorkloadHasFewL2Misses(t *testing.T) {
+	cfg := smallConfig(POMTLB)
+	sys, _ := NewSystem(cfg)
+	p := trace.Params{
+		Seed: 1, FootprintBytes: 64 << 20, LargeFrac: 0.9,
+		Threads: cfg.Cores, MeanGap: 8, WriteFrac: 0.2,
+	}
+	res, err := sys.Run(trace.NewStream(p), "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90% 2 MB pages + sequential: almost every reference hits the L1/L2
+	// TLBs (the L2 is only probed at page transitions, which all miss, so
+	// the per-reference rate is the meaningful one).
+	if mpr := float64(res.L2TLB.Misses) / float64(res.Records); mpr > 0.01 {
+		t.Errorf("streaming L2 TLB misses per reference = %.4f, want tiny", mpr)
+	}
+}
+
+func TestWarmupDiscarded(t *testing.T) {
+	cfg := smallConfig(POMTLB)
+	cfg.WarmupRefs = 10_000
+	sys, _ := NewSystem(cfg)
+	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != uint64(cfg.MaxRefs) {
+		t.Errorf("records = %d, want %d (warmup excluded)", res.Records, cfg.MaxRefs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Result {
+		sys, _ := NewSystem(smallConfig(POMTLB))
+		res, _ := sys.Run(trace.NewUniform(gupsParams(2)), "det")
+		return res
+	}
+	a, b := run(), run()
+	if a.PenaltyCycles != b.PenaltyCycles || a.Cycles != b.Cycles ||
+		a.L2TLB != b.L2TLB || a.POMDRAM != b.POMDRAM {
+		t.Error("identical configurations must produce identical results")
+	}
+}
+
+func TestRunWithWorkloadProfile(t *testing.T) {
+	p, _ := workloads.ByName("gups")
+	cfg := smallConfig(POMTLB)
+	sys, _ := NewSystem(cfg)
+	res, err := sys.Run(p.Generator(cfg.Cores, cfg.Seed), p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "gups" {
+		t.Errorf("workload = %q", res.Workload)
+	}
+	if res.SizePred.Total() == 0 {
+		t.Error("size predictor never consulted")
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestResultZeroDivisions(t *testing.T) {
+	var r Result
+	if r.AvgPenalty() != 0 || r.WalkEliminationRate() != 0 || r.IPC() != 0 {
+		t.Error("zero result should report zeros")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(POMTLB))
+	if !strings.Contains(sys.String(), "pom-tlb") {
+		t.Errorf("String() = %q", sys.String())
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/pagetable"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Result carries every statistic a simulation produced. The fields marked
+// with figure numbers are the quantities the paper's evaluation plots.
+type Result struct {
+	Mode     Mode
+	Workload string
+
+	Records uint64
+	Insts   uint64
+	Cycles  uint64 // slowest core's cycle count
+
+	// L1TLB and L2TLB aggregate all cores' TLB hit/miss counters.
+	L1TLB stats.HitMiss
+	L2TLB stats.HitMiss
+
+	// PenaltyCycles is the total translation cycles spent after L2 TLB
+	// misses; PenaltyCycles / L2TLB.Misses is P_avg of Equation (3)/(4).
+	PenaltyCycles uint64
+
+	// Resolved counts where translations completed (Figure 9's levels).
+	Resolved [numResolveLevels]uint64
+
+	// L2DProbe/L3DProbe count data-cache probes for POM-TLB sets
+	// (Figure 9: L2D$ ≈ 89.7%, L3D$ lower).
+	L2DProbe stats.HitMiss
+	L3DProbe stats.HitMiss
+	// POMDRAM counts associative searches performed at the die-stacked
+	// DRAM (Figure 9: ≈ 88%).
+	POMDRAM stats.HitMiss
+
+	// SizePred/BypassPred are predictor accuracy counters (Figure 10).
+	SizePred   stats.HitMiss
+	BypassPred stats.HitMiss
+
+	// Walk aggregates page-walk activity across cores.
+	Walk pagetable.WalkStats
+
+	// SharedTLB / TSB counters for the comparison schemes.
+	SharedTLB    stats.HitMiss
+	TSBLookups   stats.HitMiss
+	TSBConflicts uint64
+
+	// POMDRAMStats carries the die-stacked channel counters (Figure 11's
+	// row-buffer hit rate); DDRStats the off-chip channel's.
+	POMDRAMStats dram.Stats
+	DDRStats     dram.Stats
+
+	// DataLat is the mean data-access latency (translation excluded).
+	DataLat stats.Mean
+
+	// L2Cache aggregates the private L2 data caches; L3Cache is the
+	// shared L3 (data vs TLB-entry split included).
+	L2Cache cache.Stats
+	L3Cache cache.Stats
+
+	// L4Cache and L4DRAMStats are populated in L4Cache mode (§2.2
+	// trade-off study).
+	L4Cache     cache.Stats
+	L4DRAMStats dram.Stats
+
+	// CoherenceInvalidations and SnoopTransfers are populated when
+	// Config.Coherence is enabled.
+	CoherenceInvalidations uint64
+	SnoopTransfers         uint64
+}
+
+// AvgPenalty returns P_avg: mean translation cycles per L2 TLB miss.
+func (r Result) AvgPenalty() float64 {
+	if r.L2TLB.Misses == 0 {
+		return 0
+	}
+	return float64(r.PenaltyCycles) / float64(r.L2TLB.Misses)
+}
+
+// WalkEliminationRate returns the fraction of L2 TLB misses that were
+// resolved without a page walk (the paper's "99% of page walks can be
+// eliminated" claim).
+func (r Result) WalkEliminationRate() float64 {
+	if r.L2TLB.Misses == 0 {
+		return 0
+	}
+	return 1 - float64(r.Resolved[ResWalk])/float64(r.L2TLB.Misses)
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// String summarises the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: refs=%d P_avg=%.1f walkElim=%.1f%% L2D$TLB=%.1f%% POM=%.1f%% RBH=%.1f%%",
+		r.Workload, r.Mode, r.Records, r.AvgPenalty(), 100*r.WalkEliminationRate(),
+		100*r.L2DProbe.Ratio(), 100*r.POMDRAM.Ratio(), 100*r.POMDRAMStats.RowBufferHitRate())
+}
+
+// scheduler delivers each core's records in trace order while letting the
+// caller always advance the core whose clock is furthest behind — the
+// Ramulator-like issue-cadence scheduling of Section 3.2. Without it,
+// per-core clocks drift apart and the shared DRAM channels would charge
+// phantom queueing waits against whichever core's clock lags.
+type scheduler struct {
+	g      trace.Generator
+	cores  int
+	queues [][]trace.Record
+}
+
+func newScheduler(g trace.Generator, cores int) *scheduler {
+	return &scheduler{g: g, cores: cores, queues: make([][]trace.Record, cores)}
+}
+
+// next returns the next record for the given core, buffering other cores'
+// records encountered along the way.
+func (sc *scheduler) next(core int) trace.Record {
+	q := sc.queues[core]
+	if len(q) > 0 {
+		rec := q[0]
+		sc.queues[core] = q[1:]
+		return rec
+	}
+	for {
+		rec := sc.g.Next()
+		c := int(rec.Thread) % sc.cores
+		if c == core {
+			return rec
+		}
+		sc.queues[c] = append(sc.queues[c], rec)
+	}
+}
+
+// minClockCore returns the core with the smallest committed clock.
+func (s *System) minClockCore() *coreState {
+	min := s.cores[0]
+	for _, c := range s.cores[1:] {
+		if c.clock < min.clock {
+			min = c
+		}
+	}
+	return min
+}
+
+// Run consumes WarmupRefs + MaxRefs records from the generator, resetting
+// statistics after warmup, and returns the final Result.
+func (s *System) Run(g trace.Generator, workload string) (Result, error) {
+	s.res.Workload = workload
+	total := s.cfg.WarmupRefs + s.cfg.MaxRefs
+	sched := newScheduler(g, len(s.cores))
+	for i := 0; i < total; i++ {
+		if i == s.cfg.WarmupRefs {
+			s.resetStats()
+		}
+		c := s.minClockCore()
+		rec := sched.next(c.id)
+		if err := s.touch(c, rec.VA, rec.Size); err != nil {
+			return s.res, fmt.Errorf("core: demand-mapping %v: %w", rec.VA, err)
+		}
+		// Non-memory instructions retire at IPC 1 (linear model, §3.3).
+		c.clock += uint64(rec.Gap)
+		c.insts += uint64(rec.Gap) + 1
+
+		c.now = c.clock
+		hpa, _ := s.translate(c, rec.VA)
+		dlat := s.dataAccess(c, hpa, rec.Write, cache.Data)
+		s.res.DataLat.Observe(float64(dlat))
+		c.clock = c.now
+		s.res.Records++
+	}
+	s.finalize()
+	return s.res, nil
+}
+
+// resetStats discards warmup counters while keeping all warmed state
+// (cache/TLB/POM contents, predictor training, DRAM bank state).
+func (s *System) resetStats() {
+	workload := s.res.Workload
+	mode := s.res.Mode
+	s.res = Result{Workload: workload, Mode: mode}
+	for _, c := range s.cores {
+		c.l1tlb.Small.ResetStats()
+		c.l1tlb.Large.ResetStats()
+		c.l2tlb.ResetStats()
+		c.l1d.ResetStats()
+		c.l2.ResetStats()
+		c.pred.ResetStats()
+		c.walker.ResetStats()
+		c.clockAtReset = c.clock
+		c.instsAtReset = c.insts
+	}
+	s.l3.ResetStats()
+	for _, ch := range s.ddr {
+		ch.ResetStats()
+	}
+	if s.pom != nil {
+		s.pom.ResetStats()
+	}
+	if s.tsbB != nil {
+		s.tsbB.ResetStats()
+	}
+	if s.l4 != nil {
+		s.l4.ResetStats()
+		s.l4chan.ResetStats()
+	}
+	if s.shared != nil {
+		s.shared.ResetStats()
+	}
+}
+
+// addCacheStats merges per-core cache counters.
+func addCacheStats(dst *cache.Stats, src cache.Stats) {
+	for k := range dst.Access {
+		dst.Access[k].Add(src.Access[k])
+	}
+	for k := range dst.Evictions {
+		dst.Evictions[k] += src.Evictions[k]
+	}
+	dst.Writebacks += src.Writebacks
+}
+
+// finalize aggregates component counters into the Result.
+func (s *System) finalize() {
+	for _, c := range s.cores {
+		l1 := c.l1tlb.Small.Stats()
+		l1.Add(c.l1tlb.Large.Stats())
+		s.res.L1TLB.Add(l1)
+		s.res.L2TLB.Add(c.l2tlb.Stats())
+		s.res.SizePred.Add(c.pred.SizeStats())
+		s.res.BypassPred.Add(c.pred.BypassStats())
+		ws := c.walker.Stats()
+		s.res.Walk.Add(ws)
+		addCacheStats(&s.res.L2Cache, c.l2.Stats())
+		s.res.Insts += c.insts - c.instsAtReset
+		if cyc := c.clock - c.clockAtReset; cyc > s.res.Cycles {
+			s.res.Cycles = cyc
+		}
+	}
+	s.res.L3Cache = s.l3.Stats()
+	for _, ch := range s.ddr {
+		st := ch.Stats()
+		s.res.DDRStats.Accesses += st.Accesses
+		s.res.DDRStats.RowHits += st.RowHits
+		s.res.DDRStats.RowMisses += st.RowMisses
+		s.res.DDRStats.RowConfl += st.RowConfl
+		s.res.DDRStats.Reads += st.Reads
+		s.res.DDRStats.Writes += st.Writes
+		s.res.DDRStats.TotalWait += st.TotalWait
+		s.res.DDRStats.TotalCycle += st.TotalCycle
+	}
+	if s.pom != nil {
+		s.res.POMDRAMStats = s.pom.DRAMStats()
+	}
+	if s.l4 != nil {
+		s.res.L4Cache = s.l4.Stats()
+		s.res.L4DRAMStats = s.l4chan.Stats()
+	}
+	if s.shared != nil {
+		s.res.SharedTLB = s.shared.Stats()
+	}
+	if s.tsbB != nil {
+		s.res.TSBLookups = s.tsbB.Stats()
+		s.res.TSBConflicts = s.tsbB.Conflicts
+	}
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/pagetable"
+	"repro/internal/pomtlb"
+	"repro/internal/tlb"
+	"repro/internal/tsb"
+	"repro/internal/virt"
+)
+
+// coreState is one simulated core: its private TLBs, private caches,
+// per-core MMU walker (PSCs + nested TLB) and POM-TLB predictor.
+type coreState struct {
+	id    int
+	clock uint64 // core-local cycle count (committed)
+	// now is the in-flight time cursor: while a reference is being
+	// processed, every serial access (TLB probe, cache level, DRAM burst)
+	// advances now so that downstream accesses see the correct issue time
+	// and bus waits are not charged repeatedly.
+	now uint64
+	// clockAtReset / instsAtReset snapshot the counters at the end of
+	// warmup; clocks themselves keep running so DRAM bank/bus timestamps
+	// stay consistent.
+	clockAtReset uint64
+	instsAtReset uint64
+	insts        uint64
+	l1tlb        *tlb.SplitL1
+	l2tlb        *tlb.TLB
+	l1d          *cache.Cache
+	l2           *cache.Cache
+	pred         *pomtlb.Predictor
+	walker       *pagetable.Walker
+	vm           *virt.VM // nil when running native
+	pid          addr.PID
+	vmid         addr.VMID
+}
+
+// System is the complete simulated machine.
+type System struct {
+	cfg   Config
+	hyp   *virt.Hypervisor
+	vms   []*virt.VM
+	cores []*coreState
+	l3    *cache.Cache
+	ddr   []*dram.Channel
+	pom   *pomtlb.TLB
+	tsbB  *tsb.TSB
+	// l4 is the L4Cache mode's die-stacked data cache: an SRAM-tagged
+	// directory (the cache.Cache) whose hits cost one die-stacked DRAM
+	// access on l4chan.
+	l4     *cache.Cache
+	l4chan *dram.Channel
+	// shared is the Shared_L2 scheme's combined SRAM TLB.
+	shared *tlb.TLB
+
+	// lastWalkLatency threads the most recent walk's latency from
+	// mustWalk to the calling scheme path.
+	lastWalkLatency uint64
+
+	res Result
+}
+
+// NewSystem builds the machine for a configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.L2.Priority = cfg.CachePriority
+	cfg.L3.Priority = cfg.CachePriority
+	s := &System{
+		cfg: cfg,
+		hyp: virt.NewHypervisor(virt.DefaultConfig()),
+		l3:  cache.New(cfg.L3),
+	}
+	nch := cfg.DDRChannels
+	if nch <= 0 {
+		nch = 1
+	}
+	for i := 0; i < nch; i++ {
+		s.ddr = append(s.ddr, dram.New(cfg.DDR))
+	}
+	if cfg.Virtualized {
+		for i := 0; i < cfg.VMs; i++ {
+			vm, err := s.hyp.NewVM(addr.VMID(i + 1))
+			if err != nil {
+				return nil, err
+			}
+			s.vms = append(s.vms, vm)
+		}
+	}
+	switch cfg.Mode {
+	case POMTLB, POMTLBNoCache:
+		s.pom = pomtlb.New(cfg.POM)
+	case TSB:
+		s.tsbB = tsb.New(cfg.TSBCfg)
+	case SharedL2:
+		s.shared = tlb.New(tlb.SharedL2(cfg.Cores))
+	case L4Cache:
+		s.l4 = cache.New(cache.Config{
+			Name:      "L4",
+			SizeBytes: cfg.POM.SizeBytes, // same capacity as the TLB it replaces
+			Ways:      16,
+			Latency:   0, // the DRAM access itself is charged per hit
+		})
+		s.l4chan = dram.New(cfg.POM.DRAM)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &coreState{
+			id:    i,
+			l1tlb: tlb.NewSplitL1(),
+			l2tlb: tlb.New(cfg.L2TLB),
+			l1d:   cache.New(cfg.L1D),
+			l2:    cache.New(cfg.L2),
+			pred:  &pomtlb.Predictor{},
+			pid:   1,
+		}
+		c.walker = pagetable.NewWalker(cfg.Walker, s.walkMemFunc(c))
+		if cfg.Virtualized {
+			c.vm = s.vms[i%len(s.vms)]
+			c.vmid = c.vm.ID()
+		}
+		s.cores = append(s.cores, c)
+	}
+	s.res.Mode = cfg.Mode
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// POM returns the POM-TLB (nil unless a POMTLB mode).
+func (s *System) POM() *pomtlb.TLB { return s.pom }
+
+// Hypervisor returns the virtualization substrate.
+func (s *System) Hypervisor() *virt.Hypervisor { return s.hyp }
+
+// walkMemFunc returns the MemFunc routing a core's page-table-entry reads
+// through its data-cache hierarchy (PTEs are cached like data in x86).
+func (s *System) walkMemFunc(c *coreState) pagetable.MemFunc {
+	return func(a addr.HPA, write bool) uint64 {
+		return s.dataAccess(c, a, write, cache.Data)
+	}
+}
+
+// dataAccess performs one memory access through L1D → L2 → L3 → DRAM at
+// the core's current time cursor, advances the cursor by the access
+// latency, and returns that latency. kind tags the line for the split
+// statistics.
+func (s *System) dataAccess(c *coreState, a addr.HPA, write bool, kind cache.Kind) uint64 {
+	line := a.Line()
+	if write && s.cfg.Coherence {
+		s.invalidateOthers(c, line)
+	}
+	lat := c.l1d.Latency()
+	if c.l1d.Access(line, write, kind) {
+		c.now += lat
+		return lat
+	}
+	lat += c.l2.Latency()
+	if c.l2.Access(line, write, kind) {
+		s.fillL1(c, line, write, kind)
+		c.now += lat
+		return lat
+	}
+	lat += s.l3.Latency()
+	if s.l3.Access(line, write, kind) {
+		s.fillL2(c, line, false, kind)
+		s.fillL1(c, line, write, kind)
+		c.now += lat
+		return lat
+	}
+	if s.cfg.Coherence && s.snoopTransfer(c, line) {
+		// Another core's private cache supplied the line (cache-to-cache
+		// transfer at shared-cache latency; the owner's copy downgrades).
+		lat += s.l3.Latency()
+		s.fillL3(c, line, false, kind)
+		s.fillL2(c, line, false, kind)
+		s.fillL1(c, line, write, kind)
+		c.now += lat
+		return lat
+	}
+	if s.l4 != nil {
+		// L4Cache mode: a die-stacked DRAM cache sits between the L3 and
+		// off-chip memory. A tag hit costs one die-stacked access.
+		if s.l4.Access(line, write, kind) {
+			lat += s.l4chan.Access(c.now+lat, a.LineBase(), false).Latency
+			s.fillL3(c, line, false, kind)
+			s.fillL2(c, line, false, kind)
+			s.fillL1(c, line, write, kind)
+			c.now += lat
+			return lat
+		}
+	}
+	// Miss everywhere: fetch the line from memory (write-allocate).
+	lat += s.memFetch(c.now+lat, a, kind)
+	if s.l4 != nil {
+		// Fill the L4 (the die-stacked write is off the critical path).
+		if ev := s.l4.Fill(line, false, kind); ev.Valid && ev.Dirty {
+			s.ddrFor(addr.HPA(ev.Line<<addr.CacheLineShift)).Access(c.now, addr.HPA(ev.Line<<addr.CacheLineShift), true)
+		}
+		s.l4chan.Access(c.now, a.LineBase(), true)
+	}
+	s.fillL3(c, line, false, kind)
+	s.fillL2(c, line, false, kind)
+	s.fillL1(c, line, write, kind)
+	c.now += lat
+	return lat
+}
+
+// invalidateOthers implements the write-invalidate half of the coherence
+// protocol: drop every other core's private copies of the line.
+func (s *System) invalidateOthers(c *coreState, line uint64) {
+	for _, o := range s.cores {
+		if o == c {
+			continue
+		}
+		if p1, _ := o.l1d.Invalidate(line); p1 {
+			s.res.CoherenceInvalidations++
+		}
+		if p2, _ := o.l2.Invalidate(line); p2 {
+			s.res.CoherenceInvalidations++
+		}
+	}
+}
+
+// snoopTransfer implements the sharing half: a load that missed the shared
+// L3 is served by another core's private cache when one holds the line.
+func (s *System) snoopTransfer(c *coreState, line uint64) bool {
+	for _, o := range s.cores {
+		if o == c {
+			continue
+		}
+		if o.l1d.Lookup(line) || o.l2.Lookup(line) {
+			s.res.SnoopTransfers++
+			return true
+		}
+	}
+	return false
+}
+
+// memFetch reads one line from the backing store for the address: the
+// POM-TLB's die-stacked channel for addresses inside the TLB, off-chip DDR
+// otherwise.
+func (s *System) memFetch(now uint64, a addr.HPA, kind cache.Kind) uint64 {
+	if s.pom != nil && s.pom.Contains(a) {
+		return s.pom.AccessDRAM(now, a.LineBase(), 1, false).Latency
+	}
+	return s.ddrFor(a).Access(now, a.LineBase(), false).Latency
+}
+
+// ddrFor interleaves off-chip channels at cache-line granularity.
+func (s *System) ddrFor(a addr.HPA) *dram.Channel {
+	return s.ddr[a.Line()%uint64(len(s.ddr))]
+}
+
+// memWriteback retires a dirty line to its backing store; off the critical
+// path, so no latency is charged to the current access.
+func (s *System) memWriteback(now uint64, line uint64) {
+	a := addr.HPA(line << addr.CacheLineShift)
+	if s.pom != nil && s.pom.Contains(a) {
+		s.pom.AccessDRAM(now, a, 1, true)
+		return
+	}
+	s.ddrFor(a).Access(now, a, true)
+}
+
+// fillL1/fillL2/fillL3 install lines, propagating dirty victims down the
+// write-back hierarchy.
+func (s *System) fillL1(c *coreState, line uint64, dirty bool, kind cache.Kind) {
+	if ev := c.l1d.Fill(line, dirty, kind); ev.Valid && ev.Dirty {
+		s.fillL2(c, ev.Line, true, ev.Kind)
+	}
+}
+
+func (s *System) fillL2(c *coreState, line uint64, dirty bool, kind cache.Kind) {
+	if ev := c.l2.Fill(line, dirty, kind); ev.Valid && ev.Dirty {
+		s.fillL3(c, ev.Line, true, ev.Kind)
+	}
+}
+
+func (s *System) fillL3(c *coreState, line uint64, dirty bool, kind cache.Kind) {
+	if ev := s.l3.Fill(line, dirty, kind); ev.Valid && ev.Dirty {
+		s.memWriteback(c.now, ev.Line)
+	}
+}
+
+// mustWalkAt runs the page walk with the core's time cursor advancing
+// through each PTE reference (the walker's MemFunc is dataAccess, which
+// advances c.now itself); the walker's own PSC/nested-TLB probe cycles are
+// added afterwards. Returns the resolved entry; the cursor advance IS the
+// walk latency. With WalkPenaltyOverride set, the walk is resolved
+// logically and charged at the measured baseline cost instead.
+func (s *System) mustWalkAt(c *coreState, va addr.VA) tlb.Entry {
+	if s.cfg.WalkPenaltyOverride > 0 {
+		c.now += s.cfg.WalkPenaltyOverride
+		return s.logicalEntry(c, va)
+	}
+	before := c.now
+	e := s.mustWalk(c, va)
+	memAdvance := c.now - before
+	if s.lastWalkLatency > memAdvance {
+		c.now += s.lastWalkLatency - memAdvance
+	}
+	return e
+}
+
+// logicalEntry resolves a translation from the tables without timing.
+func (s *System) logicalEntry(c *coreState, va addr.VA) tlb.Entry {
+	if c.vm != nil {
+		hpa, size, ok := c.vm.Translate(c.pid, va)
+		if !ok {
+			panic(fmt.Sprintf("core: unmapped address %v on core %d", va, c.id))
+		}
+		return tlb.Entry{VM: c.vmid, PID: c.pid, VPN: va.VPN(size),
+			PFN: hpa.PFN(size), Size: size, Valid: true}
+	}
+	e, ok := s.hyp.NativeProcess(c.pid).Lookup(uint64(va))
+	if !ok {
+		panic(fmt.Sprintf("core: unmapped native address %v on core %d", va, c.id))
+	}
+	return tlb.Entry{VM: 0, PID: c.pid, VPN: va.VPN(e.Size),
+		PFN: e.PFN, Size: e.Size, Valid: true}
+}
+
+// touch ensures the OS/hypervisor mapping exists for a reference (demand
+// paging, untimed — page-fault cost is outside the paper's model too).
+// Under SteadyState, a newly created mapping also seeds the scheme's
+// large translation structure, emulating the fully-amortized steady state
+// of the paper's 20-billion-instruction traces.
+func (s *System) touch(c *coreState, va addr.VA, size addr.PageSize) error {
+	var created bool
+	var err error
+	if c.vm != nil {
+		created, err = c.vm.Touch(c.pid, va, size)
+	} else {
+		_, created, err = s.hyp.TouchNative(c.pid, va, size)
+	}
+	if err != nil || !created || !s.cfg.SteadyState {
+		return err
+	}
+	s.seed(c, va)
+	return nil
+}
+
+// seed installs a freshly-mapped page's translation into the simulated
+// scheme's large structure (never into L1/L2 TLBs or data caches).
+func (s *System) seed(c *coreState, va addr.VA) {
+	var hpa addr.HPA
+	var size addr.PageSize
+	if c.vm != nil {
+		var ok bool
+		hpa, size, ok = c.vm.Translate(c.pid, va)
+		if !ok {
+			return
+		}
+	} else {
+		e, ok := s.hyp.NativeProcess(c.pid).Lookup(uint64(va))
+		if !ok {
+			return
+		}
+		size = e.Size
+		hpa = addr.FromPFN(e.PFN, e.Size, 0)
+	}
+	pfn := hpa.PFN(size)
+	switch s.cfg.Mode {
+	case POMTLB, POMTLBNoCache:
+		if size == addr.Page1G {
+			return // the POM-TLB has no 1 GB partition
+		}
+		s.pom.Partition(size).Insert(pomtlb.Entry{
+			Valid: true, VM: c.vmid, PID: c.pid,
+			VPN: va.VPN(size), PFN: pfn, Size: size,
+		})
+	case TSB:
+		s.tsbB.Insert(c.vmid, c.pid, va.VPN(size), pfn, size)
+	}
+	// The Shared_L2 TLB is deliberately NOT seeded: its capacity (12 K
+	// entries at 8 cores) is far below the big footprints, so in steady
+	// state a streamed page would long since have been evicted — seeding
+	// immediately before the probe would fake a hit the real structure
+	// could not deliver. The POM-TLB and TSB hold ≥ 0.5 M entries and do
+	// retain every page at these footprints.
+}
+
+// walk performs the mode-appropriate page walk for a core.
+func (s *System) walk(c *coreState, va addr.VA) pagetable.WalkResult {
+	if c.vm != nil {
+		return c.walker.Translate2D(c.vm.GuestTable(c.pid), c.vm.EPT(), c.vmid, c.pid, va)
+	}
+	return c.walker.TranslateNative(s.hyp.NativeProcess(c.pid), 0, c.pid, va)
+}
+
+// insertTLBs installs a resolved translation into the core's L1 and L2
+// TLBs (mostly-inclusive: each level replaces independently).
+func (c *coreState) insertTLBs(e tlb.Entry) {
+	c.l2tlb.Insert(e)
+	c.l1tlb.Insert(e)
+}
+
+func walkEntry(vmid addr.VMID, pid addr.PID, va addr.VA, w pagetable.WalkResult) tlb.Entry {
+	return tlb.Entry{
+		VM: vmid, PID: pid,
+		VPN: va.VPN(w.Size), PFN: w.HPFN, Size: w.Size, Valid: true,
+	}
+}
+
+// Shootdown implements the Section 2.2 consistency protocol for one page:
+// the mapping is removed from the guest table, every core's L1/L2 TLBs and
+// walker acceleration state drop the translation, the POM-TLB (or TSB /
+// shared TLB) entry is invalidated, and any cached copies of the POM-TLB
+// set line are flushed from the data caches. Returns whether the page was
+// actually mapped.
+func (s *System) Shootdown(vmid addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize) bool {
+	vpn := va.VPN(size)
+	var unmapped bool
+	if s.cfg.Virtualized {
+		if vm, ok := s.hyp.VM(vmid); ok {
+			unmapped = vm.Unmap(pid, va, size)
+		}
+	} else {
+		_, unmapped = s.hyp.NativeProcess(pid).Unmap(uint64(va.PageBase(size)))
+	}
+	for _, c := range s.cores {
+		c.l1tlb.InvalidatePage(vmid, pid, vpn, size)
+		c.l2tlb.InvalidatePage(vmid, pid, vpn, size)
+		// PSCs and the nested TLB may cache stale structure pointers.
+		c.walker.InvalidateAll()
+	}
+	switch s.cfg.Mode {
+	case POMTLB, POMTLBNoCache:
+		s.pom.InvalidatePage(vmid, pid, vpn, size)
+		// Cached copies of the set line are stale once the set changes.
+		line := s.pom.Partition(size).SetAddr(va, vmid).Line()
+		for _, c := range s.cores {
+			c.l1d.Invalidate(line)
+			c.l2.Invalidate(line)
+		}
+		s.l3.Invalidate(line)
+	case TSB:
+		s.tsbB.InvalidatePage(vmid, pid, vpn, size)
+	case SharedL2:
+		s.shared.InvalidatePage(vmid, pid, vpn, size)
+	}
+	return unmapped
+}
+
+// ProcessExit flushes every structure holding translations of (vm, pid),
+// making the PID safe to recycle (§2.2's "process ID recycling"). Cached
+// POM-TLB set lines holding the dead process's entries are conservatively
+// dropped from the data caches. Returns the number of entries removed
+// from the scheme's large structure.
+func (s *System) ProcessExit(vmid addr.VMID, pid addr.PID) int {
+	for _, c := range s.cores {
+		c.l1tlb.Small.InvalidateProcess(vmid, pid)
+		c.l1tlb.Large.InvalidateProcess(vmid, pid)
+		c.l2tlb.InvalidateProcess(vmid, pid)
+		c.walker.InvalidateAll()
+	}
+	n := 0
+	switch s.cfg.Mode {
+	case POMTLB, POMTLBNoCache:
+		n = s.pom.InvalidateProcess(vmid, pid)
+		for _, c := range s.cores {
+			c.l1d.InvalidateKind(cache.TLBEntry)
+			c.l2.InvalidateKind(cache.TLBEntry)
+		}
+		s.l3.InvalidateKind(cache.TLBEntry)
+	case TSB:
+		n = s.tsbB.InvalidateProcess(vmid, pid)
+	case SharedL2:
+		n = s.shared.InvalidateProcess(vmid, pid)
+	}
+	return n
+}
+
+// String summarises the system.
+func (s *System) String() string {
+	return fmt.Sprintf("system{mode=%s cores=%d vms=%d virt=%v}",
+		s.cfg.Mode, s.cfg.Cores, len(s.vms), s.cfg.Virtualized)
+}

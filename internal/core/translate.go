@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/pomtlb"
+	"repro/internal/tlb"
+)
+
+// ResolveLevel identifies where a translation was finally resolved.
+type ResolveLevel int
+
+const (
+	// ResL1TLB is a per-core L1 TLB hit.
+	ResL1TLB ResolveLevel = iota
+	// ResL2TLB is a per-core L2 TLB hit.
+	ResL2TLB
+	// ResL2D is a POM-TLB entry found in the L2 data cache.
+	ResL2D
+	// ResL3D is a POM-TLB entry found in the shared L3 data cache.
+	ResL3D
+	// ResPOM is a POM-TLB entry found in the die-stacked DRAM.
+	ResPOM
+	// ResShared is a Shared_L2 scheme shared-TLB hit.
+	ResShared
+	// ResTSB is a translation-storage-buffer hit.
+	ResTSB
+	// ResWalk means a full page walk was needed.
+	ResWalk
+
+	numResolveLevels
+)
+
+// String implements fmt.Stringer.
+func (r ResolveLevel) String() string {
+	switch r {
+	case ResL1TLB:
+		return "L1TLB"
+	case ResL2TLB:
+		return "L2TLB"
+	case ResL2D:
+		return "L2D$"
+	case ResL3D:
+		return "L3D$"
+	case ResPOM:
+		return "POM-TLB"
+	case ResShared:
+		return "SharedTLB"
+	case ResTSB:
+		return "TSB"
+	case ResWalk:
+		return "PageWalk"
+	}
+	return fmt.Sprintf("ResolveLevel(%d)", int(r))
+}
+
+// translate resolves va for core c. The core's time cursor (c.now)
+// advances through every serial step; the returned latency is exactly the
+// cursor advance. It also accumulates the scheme's post-L2-miss penalty,
+// which is the quantity Equations (3)–(4) consume.
+func (s *System) translate(c *coreState, va addr.VA) (addr.HPA, uint64) {
+	t0 := c.now
+	if e, ok := c.l1tlb.Lookup(c.vmid, c.pid, va); ok {
+		s.res.Resolved[ResL1TLB]++
+		return addr.Translate(va, e.PFN, e.Size), 0
+	}
+	c.now += s.cfg.L1MissPenalty
+	if e, ok := c.l2tlb.Lookup(c.vmid, c.pid, va); ok {
+		c.l1tlb.Insert(e)
+		s.res.Resolved[ResL2TLB]++
+		return addr.Translate(va, e.PFN, e.Size), c.now - t0
+	}
+	c.now += s.cfg.L2MissPenalty
+
+	missStart := c.now
+	var e tlb.Entry
+	switch s.cfg.Mode {
+	case Baseline, L4Cache:
+		e = s.baselinePath(c, va)
+	case POMTLB, POMTLBNoCache:
+		e = s.pomPath(c, va)
+	case SharedL2:
+		e = s.sharedPath(c, va)
+	case TSB:
+		e = s.tsbPath(c, va)
+	}
+	s.res.PenaltyCycles += c.now - missStart
+	return addr.Translate(va, e.PFN, e.Size), c.now - t0
+}
+
+// mustWalk performs the page walk and panics on a fault: every reference
+// is demand-mapped before translation, so a fault is a simulator bug.
+// Callers use mustWalkAt, which keeps the time cursor consistent.
+func (s *System) mustWalk(c *coreState, va addr.VA) tlb.Entry {
+	w := s.walk(c, va)
+	if !w.OK {
+		panic(fmt.Sprintf("core: walk fault for mapped address %v on core %d", va, c.id))
+	}
+	s.lastWalkLatency = w.Latency
+	return walkEntry(c.vmid, c.pid, va, w)
+}
+
+// baselinePath is the Skylake-like baseline: an L2 TLB miss starts the
+// (2D) page walk immediately.
+func (s *System) baselinePath(c *coreState, va addr.VA) tlb.Entry {
+	e := s.mustWalkAt(c, va)
+	c.insertTLBs(e)
+	s.res.Resolved[ResWalk]++
+	return e
+}
+
+// pomPath implements Figure 7: page-size prediction, optional cache
+// bypass, L2D$/L3D$ probes of the addressable set, die-stacked DRAM
+// access, second-size retry, and finally the page walk.
+func (s *System) pomPath(c *coreState, va addr.VA) tlb.Entry {
+	useCaches := s.cfg.Mode == POMTLB
+	predSize := c.pred.PredictSize(va)
+	bypass := useCaches && !s.cfg.DisableBypassPredictor && c.pred.PredictBypass(va)
+	probeCaches := useCaches && !bypass
+
+	var entry pomtlb.Entry
+	found := false
+	firstCachesHit := false
+	first := true
+
+	try := func(size addr.PageSize) bool {
+		part := s.pom.Partition(size)
+		setAddr := part.SetAddr(va, c.vmid)
+		line := setAddr.Line()
+		if probeCaches {
+			// The MMU issues the set address to the L2D$ first (2.1.3).
+			c.now += c.l2.Latency()
+			if c.l2.Access(line, false, cache.TLBEntry) {
+				s.res.L2DProbe.Hit()
+				if first {
+					firstCachesHit = true
+				}
+				if e, ok := part.Search(c.vmid, c.pid, va); ok {
+					s.res.Resolved[ResL2D]++
+					entry, found = e, true
+				}
+				return found // cached set is authoritative for this size
+			}
+			s.res.L2DProbe.Miss()
+			c.now += s.l3.Latency()
+			if s.l3.Access(line, false, cache.TLBEntry) {
+				s.res.L3DProbe.Hit()
+				if first {
+					firstCachesHit = true
+				}
+				s.fillL2(c, line, false, cache.TLBEntry)
+				if e, ok := part.Search(c.vmid, c.pid, va); ok {
+					s.res.Resolved[ResL3D]++
+					entry, found = e, true
+				}
+				return found
+			}
+			s.res.L3DProbe.Miss()
+		}
+		dres := s.pom.AccessDRAM(c.now, setAddr, part.LinesPerSet(), false)
+		c.now += dres.Latency
+		e, ok := part.Search(c.vmid, c.pid, va)
+		s.res.POMDRAM.Record(ok)
+		if useCaches {
+			// Like data misses, fetched sets fill into the caches — even
+			// on the bypass path (bypass skips the lookups, not the fill;
+			// without the fill a bypassed region could never become
+			// cache-resident again and the predictor would lock in).
+			s.fillL3(c, line, false, cache.TLBEntry)
+			s.fillL2(c, line, false, cache.TLBEntry)
+		}
+		if ok {
+			s.res.Resolved[ResPOM]++
+			entry, found = e, true
+		}
+		return found
+	}
+
+	if !try(predSize) {
+		first = false
+		try(predSize.Other())
+	}
+
+	var out tlb.Entry
+	var actual addr.PageSize
+	if found {
+		actual = entry.Size
+		out = tlb.Entry{VM: c.vmid, PID: c.pid, VPN: entry.VPN, PFN: entry.PFN,
+			Size: actual, Valid: true}
+		if s.cfg.NeighborPrefetch {
+			// §6 extension: the burst carried the whole set — install the
+			// neighbouring pages' translations into the L2 TLB for free.
+			for _, ne := range s.pom.Partition(actual).SetEntries(va, c.vmid) {
+				if ne.Valid && ne.VM == c.vmid && ne.PID == c.pid && ne.VPN != entry.VPN {
+					c.l2tlb.Insert(tlb.Entry{VM: c.vmid, PID: c.pid,
+						VPN: ne.VPN, PFN: ne.PFN, Size: ne.Size, Valid: true})
+				}
+			}
+		}
+	} else {
+		out = s.mustWalkAt(c, va)
+		actual = out.Size
+		if actual == addr.Page1G {
+			// No 1 GB partition: the translation lives in the L1 huge
+			// TLB / unified L2 only.
+			c.pred.UpdateSize(va, addr.Page2M)
+			c.insertTLBs(out)
+			s.res.Resolved[ResWalk]++
+			return out
+		}
+		part := s.pom.Partition(actual)
+		part.Insert(pomtlb.Entry{Valid: true, VM: c.vmid, PID: c.pid,
+			VPN: va.VPN(actual), PFN: out.PFN, Size: actual})
+		// The fill writes the updated set back; off the critical path, so
+		// the cursor does not advance.
+		setAddr := part.SetAddr(va, c.vmid)
+		s.pom.AccessDRAM(c.now, setAddr, part.LinesPerSet(), true)
+		if useCaches {
+			s.fillL3(c, setAddr.Line(), false, cache.TLBEntry)
+			s.fillL2(c, setAddr.Line(), false, cache.TLBEntry)
+		}
+		s.res.Resolved[ResWalk]++
+	}
+
+	c.pred.UpdateSize(va, actual)
+	if useCaches {
+		shouldBypass := !firstCachesHit
+		if bypass {
+			// The caches were skipped; score the decision against what
+			// they actually held (an idealized sampling probe).
+			line := s.pom.Partition(predSize).SetAddr(va, c.vmid).Line()
+			shouldBypass = !(c.l2.Lookup(line) || s.l3.Lookup(line))
+		}
+		c.pred.UpdateBypass(va, shouldBypass)
+	}
+	c.insertTLBs(out)
+	return out
+}
+
+// sharedPath is the Shared_L2 comparison scheme: one SRAM TLB with the
+// combined capacity of all cores' private L2 TLBs, probed before walking.
+func (s *System) sharedPath(c *coreState, va addr.VA) tlb.Entry {
+	c.now += s.shared.Latency()
+	if e, ok := s.shared.Lookup(c.vmid, c.pid, va); ok {
+		c.insertTLBs(e)
+		s.res.Resolved[ResShared]++
+		return e
+	}
+	e := s.mustWalkAt(c, va)
+	s.shared.Insert(e)
+	c.insertTLBs(e)
+	s.res.Resolved[ResWalk]++
+	return e
+}
+
+// tsbPath is the SPARC-style scheme: trap to the OS, probe the
+// direct-mapped TSB in memory (through the data caches, like any load) for
+// each page size, pay the extra host-dimension access on a virtualized
+// hit, and fall back to a software walk.
+func (s *System) tsbPath(c *coreState, va addr.VA) tlb.Entry {
+	c.now += s.cfg.TSBCfg.TrapCycles
+	probe := func(size addr.PageSize) (uint64, bool) {
+		s.dataAccess(c, s.tsbB.EntryAddr(c.vmid, va, size), false, cache.Data)
+		return s.tsbB.Lookup(c.vmid, c.pid, va, size)
+	}
+	// The miss handler knows the region's mapping size most of the time;
+	// model that with the same page-size predictor the POM-TLB uses.
+	size := c.pred.PredictSize(va)
+	pfn, ok := probe(size)
+	if !ok {
+		size = size.Other()
+		pfn, ok = probe(size)
+	}
+	if ok {
+		if s.cfg.Virtualized {
+			// TSB entries are not direct gVA→hPA translations: the miss
+			// handler needs a second buffer access for the host dimension.
+			s.dataAccess(c, s.tsbB.EntryAddr(c.vmid, va, size), false, cache.Data)
+		}
+		e := tlb.Entry{VM: c.vmid, PID: c.pid, VPN: va.VPN(size), PFN: pfn,
+			Size: size, Valid: true}
+		c.pred.UpdateSize(va, size)
+		c.insertTLBs(e)
+		s.res.Resolved[ResTSB]++
+		return e
+	}
+	e := s.mustWalkAt(c, va)
+	c.pred.UpdateSize(va, e.Size)
+	c.now += s.cfg.TSBCfg.SoftwareWalkOverhead
+	s.tsbB.Insert(c.vmid, c.pid, e.VPN, e.PFN, e.Size)
+	// The handler stores the new TTE; charge the store.
+	s.dataAccess(c, s.tsbB.EntryAddr(c.vmid, va, e.Size), true, cache.Data)
+	c.insertTLBs(e)
+	s.res.Resolved[ResWalk]++
+	return e
+}

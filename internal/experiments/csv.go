@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSVs runs the main figures and writes one CSV per figure into dir,
+// for plotting with external tools. Returns the written paths.
+func WriteCSVs(dir string, r *Runner) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var written []string
+	write := func(name string, header []string, rows [][]string) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+	f2, err := Figure2(r)
+	if err != nil {
+		return written, err
+	}
+	rows := make([][]string, len(f2))
+	for i, row := range f2 {
+		rows[i] = []string{row.Name, ff(row.PaperCyc), ff(row.SimCyc), ff(row.MissRatio)}
+	}
+	if err := write("fig2_translation_cycles.csv",
+		[]string{"benchmark", "paper_cycles", "sim_cycles", "l2tlb_miss_ratio"}, rows); err != nil {
+		return written, err
+	}
+
+	f4 := Figure4()
+	rows = rows[:0]
+	for _, pt := range f4 {
+		rows = append(rows, []string{strconv.FormatUint(pt.CapacityBytes, 10), ff(pt.Normalized)})
+	}
+	if err := write("fig4_sram_scaling.csv",
+		[]string{"capacity_bytes", "normalized_latency"}, rows); err != nil {
+		return written, err
+	}
+
+	f8, sum, err := Figure8(r)
+	if err != nil {
+		return written, err
+	}
+	rows = rows[:0]
+	for _, row := range f8 {
+		rows = append(rows, []string{row.Name, ff(row.POM), ff(row.Shared), ff(row.TSB),
+			ff(row.POMPen), ff(row.ShPen), ff(row.TSBPen), ff(row.BasePen)})
+	}
+	rows = append(rows, []string{"GEOMEAN", ff(sum.POMGeomeanPct), ff(sum.SharedGeomeanPct),
+		ff(sum.TSBGeomeanPct), "", "", "", ""})
+	if err := write("fig8_speedup.csv",
+		[]string{"benchmark", "pom_pct", "shared_pct", "tsb_pct",
+			"p_pom", "p_shared", "p_tsb", "p_base"}, rows); err != nil {
+		return written, err
+	}
+
+	f9, err := Figure9(r)
+	if err != nil {
+		return written, err
+	}
+	rows = rows[:0]
+	for _, row := range f9 {
+		rows = append(rows, []string{row.Name, ff(row.L2D), ff(row.L3D), ff(row.POM), ff(row.WalkEl)})
+	}
+	if err := write("fig9_hit_ratio.csv",
+		[]string{"benchmark", "l2d", "l3d", "pom", "walk_elimination"}, rows); err != nil {
+		return written, err
+	}
+
+	f10, err := Figure10(r)
+	if err != nil {
+		return written, err
+	}
+	rows = rows[:0]
+	for _, row := range f10 {
+		rows = append(rows, []string{row.Name, ff(row.SizeAcc), ff(row.BypassAcc)})
+	}
+	if err := write("fig10_predictors.csv",
+		[]string{"benchmark", "size_accuracy", "bypass_accuracy"}, rows); err != nil {
+		return written, err
+	}
+
+	f11, err := Figure11(r)
+	if err != nil {
+		return written, err
+	}
+	rows = rows[:0]
+	for _, row := range f11 {
+		rows = append(rows, []string{row.Name, ff(row.RBH), strconv.FormatUint(row.Accesses, 10)})
+	}
+	if err := write("fig11_row_buffer.csv",
+		[]string{"benchmark", "rbh", "dram_accesses"}, rows); err != nil {
+		return written, err
+	}
+
+	f12, withAvg, noAvg, err := Figure12(r)
+	if err != nil {
+		return written, err
+	}
+	rows = rows[:0]
+	for _, row := range f12 {
+		rows = append(rows, []string{row.Name, ff(row.WithCache), ff(row.NoCache)})
+	}
+	rows = append(rows, []string{"GEOMEAN", ff(withAvg), ff(noAvg)})
+	if err := write("fig12_caching.csv",
+		[]string{"benchmark", "with_caching_pct", "without_pct"}, rows); err != nil {
+		return written, err
+	}
+
+	return written, nil
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quick returns a fast campaign over a 3-workload subset that spans the
+// locality spectrum: streaming, uniform-random and pointer-chase.
+func quick() Options {
+	o := QuickOptions()
+	o.Workloads = []string{"streamcluster", "gups", "mcf"}
+	return o
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(quick())
+	a, err := r.Result("gups", core.POMTLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Result("gups", core.POMTLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PenaltyCycles != b.PenaltyCycles || a.Cycles != b.Cycles {
+		t.Error("memoized result differs")
+	}
+}
+
+func TestRunnerUnknownWorkload(t *testing.T) {
+	r := NewRunner(quick())
+	if _, err := r.Result("nope", core.POMTLB); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r := NewRunner(quick())
+	rows, sum, err := Figure8(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig8Row{}
+	for _, row := range rows {
+		byName[row.Name] = row
+		if row.POM < 0 || row.POM > 25 {
+			t.Errorf("%s: POM improvement %.2f%% out of plausible range", row.Name, row.POM)
+		}
+	}
+	// streamcluster has ~no headroom (paper: ~1%).
+	if sc := byName["streamcluster"]; sc.POM > 3 {
+		t.Errorf("streamcluster improvement = %.2f%%, paper says ≈ 1%%", sc.POM)
+	}
+	// gups: POM-TLB ≫ TSB (paper: 16% vs 1.8%).
+	if g := byName["gups"]; g.POM <= g.TSB {
+		t.Errorf("gups: POM (%.2f%%) should beat TSB (%.2f%%)", g.POM, g.TSB)
+	}
+	// Averages ordered as in the paper: POM > TSB; POM positive.
+	if sum.POMGeomeanPct <= 0 {
+		t.Errorf("POM average improvement = %.2f%%", sum.POMGeomeanPct)
+	}
+	if sum.POMGeomeanPct <= sum.TSBGeomeanPct {
+		t.Errorf("POM (%.2f%%) should beat TSB (%.2f%%) on average",
+			sum.POMGeomeanPct, sum.TSBGeomeanPct)
+	}
+}
+
+func TestFigure9And10And11(t *testing.T) {
+	r := NewRunner(quick())
+	f9, err := Figure9(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f9 {
+		if row.WalkEl < 0.8 {
+			t.Errorf("%s: walk elimination %.2f too low for a 16MB POM-TLB", row.Name, row.WalkEl)
+		}
+		for _, v := range []float64{row.L2D, row.L3D, row.POM} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: ratio %f out of range", row.Name, v)
+			}
+		}
+	}
+	f10, err := Figure10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f10 {
+		if row.SizeTotal == 0 {
+			t.Errorf("%s: size predictor never scored", row.Name)
+		}
+		if row.SizeAcc < 0.5 {
+			t.Errorf("%s: size accuracy %.2f — paper reports ≈ 95%% average", row.Name, row.SizeAcc)
+		}
+	}
+	f11, err := Figure11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f11 {
+		if row.RBH < 0 || row.RBH > 1 {
+			t.Errorf("%s: RBH %f out of range", row.Name, row.RBH)
+		}
+	}
+}
+
+func TestFigure12CachingHelps(t *testing.T) {
+	r := NewRunner(quick())
+	rows, withAvg, noAvg, err := Figure12(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if withAvg < noAvg {
+		t.Errorf("caching should help on average: %.2f%% vs %.2f%%", withAvg, noAvg)
+	}
+}
+
+func TestFigure2And3(t *testing.T) {
+	r := NewRunner(quick())
+	f2, err := Figure2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f2 {
+		if row.SimCyc <= 0 {
+			t.Errorf("%s: simulated baseline penalty %f", row.Name, row.SimCyc)
+		}
+	}
+	f3, err := Figure3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f3 {
+		if row.SimRatio < 1 {
+			t.Errorf("%s: virtualized should not be cheaper than native (ratio %.2f)",
+				row.Name, row.SimRatio)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	pts := Figure4()
+	if len(pts) == 0 || pts[0].Normalized != 1 {
+		t.Error("Figure 4 sweep malformed")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"L2 Unified TLB", "1536", "POM-TLB", "Die-Stacked"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"mcf", "1158", "streamcluster"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestAblationCapacityInsensitive(t *testing.T) {
+	o := quick()
+	o.Workloads = nil // sweep uses its own subset
+	pts, err := AblationCapacity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// §4.6: capacity barely matters at these footprints.
+	spread := pts[2].MeanImprovementPct - pts[0].MeanImprovementPct
+	if spread < -2 || spread > 4 {
+		t.Errorf("capacity sweep spread = %.2f%%, paper says <1%%", spread)
+	}
+	for _, p := range pts {
+		if p.WalkElimination < 0.8 {
+			t.Errorf("%s: elimination %.2f", p.Label, p.WalkElimination)
+		}
+	}
+}
+
+func TestAblationAssociativity(t *testing.T) {
+	pts, err := AblationAssociativity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Direct-mapped should eliminate fewer walks than 4-way (conflicts).
+	if pts[0].WalkElimination > pts[2].WalkElimination {
+		t.Errorf("1-way elimination %.3f should not beat 4-way %.3f",
+			pts[0].WalkElimination, pts[2].WalkElimination)
+	}
+}
+
+func TestMultiVMStudy(t *testing.T) {
+	pts, err := MultiVMStudy(quick(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.WalkElimination < 0.8 {
+			t.Errorf("%s: elimination %.2f — POM-TLB should retain both VMs", p.Label, p.WalkElimination)
+		}
+	}
+}
+
+func TestReportQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := Report(&sb, quick(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12", "Table 1", "Table 2",
+		"POM-TLB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	out := RenderBars("title", []string{"a", "b"}, []float64{1, 2}, "%")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "##") {
+		t.Errorf("RenderBars output:\n%s", out)
+	}
+}
+
+func TestAblationTLBAwareCaching(t *testing.T) {
+	pts, err := AblationTLBAwareCaching(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeanPenalty <= 0 {
+			t.Errorf("%s: penalty %f", p.Label, p.MeanPenalty)
+		}
+	}
+}
+
+func TestAblationNeighborPrefetch(t *testing.T) {
+	pts, err := AblationNeighborPrefetch(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Prefetching the burst's neighbours should not hurt.
+	if pts[1].MeanImprovementPct < pts[0].MeanImprovementPct-0.5 {
+		t.Errorf("prefetch hurt: %f vs %f", pts[1].MeanImprovementPct, pts[0].MeanImprovementPct)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(quick())
+	paths, err := WriteCSVs(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 7 {
+		t.Fatalf("wrote %d CSVs, want 7", len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Errorf("%s has no data rows", p)
+		}
+	}
+}
+
+func TestTradeoffStudy(t *testing.T) {
+	rows, err := TradeoffStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.CyclesBase == 0 || row.CyclesL4 == 0 || row.CyclesPOM == 0 {
+			t.Errorf("%s: zero cycles %+v", row.Name, row)
+		}
+		// Both uses of the capacity should not make things dramatically
+		// worse than the bare baseline.
+		if row.L4SpeedupPct < -25 || row.POMSpeedupPct < -25 {
+			t.Errorf("%s: implausible slowdowns %+v", row.Name, row)
+		}
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	// Two independent runners over the same options must produce
+	// identical figures, regardless of goroutine scheduling.
+	o := quick()
+	o.Workloads = []string{"gups"}
+	a, _, err := Figure8(NewRunner(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Figure8(NewRunner(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("campaign not deterministic:\n%+v\n%+v", a[0], b[0])
+	}
+}
+
+func TestNativeStudy(t *testing.T) {
+	rows, err := NativeStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		if row.Penalty <= 0 || row.BasePen <= 0 {
+			t.Errorf("%s: degenerate penalties %+v", row.Name, row)
+		}
+		if row.ImprovementPct < 0 {
+			t.Errorf("%s: negative improvement %f", row.Name, row.ImprovementPct)
+		}
+	}
+}

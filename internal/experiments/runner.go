@@ -1,0 +1,228 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Section 3–4): it runs the simulator over the Table 2
+// workload suite under each translation scheme, feeds the simulated
+// penalties into the linear performance model, and formats the same rows
+// and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Options controls an evaluation campaign.
+type Options struct {
+	// Cores is the simulated core count (the paper's headline runs use 8).
+	Cores int
+	// VMs is the virtual machine count (1 except for the §5.2 study).
+	VMs int
+	// WarmupRefs/MaxRefs size each simulation. Warmup must be large
+	// enough to touch the workload footprints (Table 2 footprints reach
+	// 384 MB ≈ 100k pages).
+	WarmupRefs int
+	MaxRefs    int
+	// Seed feeds the trace generators.
+	Seed uint64
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// POMSizeBytes overrides the POM-TLB capacity (0 = paper's 16 MB).
+	POMSizeBytes uint64
+	// POMWays overrides the associativity (0 = paper's 4).
+	POMWays int
+	// DisableBypass forces the cache-probe path (bypass ablation).
+	DisableBypass bool
+	// Virtualized is true for the paper's main configuration.
+	Virtualized bool
+	// Workloads restricts the campaign to a subset of Table 2 benchmark
+	// names (nil = all 15).
+	Workloads []string
+	// CachePriority enables the §5.1 TLB-aware replacement policy.
+	CachePriority cache.Priority
+	// NeighborPrefetch enables the §6 burst-neighbour prefetch extension.
+	NeighborPrefetch bool
+	// UncalibratedWalks simulates every page walk reference-by-reference
+	// even in scheme runs. By default scheme runs charge walks at the
+	// workload's measured baseline penalty (Table 2), the way the paper
+	// combines hardware measurement with scheme simulation (§3.3).
+	UncalibratedWalks bool
+}
+
+// DefaultOptions returns the paper's 8-core virtualized campaign at a
+// laptop-friendly trace length.
+func DefaultOptions() Options {
+	return Options{
+		Cores:       8,
+		VMs:         1,
+		WarmupRefs:  500_000,
+		MaxRefs:     500_000,
+		Seed:        1,
+		Virtualized: true,
+	}
+}
+
+// QuickOptions returns a much shorter campaign for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{
+		Cores:       2,
+		VMs:         1,
+		WarmupRefs:  120_000,
+		MaxRefs:     60_000,
+		Seed:        1,
+		Virtualized: true,
+	}
+}
+
+// config materializes a core.Config for one scheme under these options.
+func (o Options) config(mode core.Mode) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	cfg.Cores = o.Cores
+	cfg.VMs = o.VMs
+	if cfg.VMs <= 0 {
+		cfg.VMs = 1
+	}
+	cfg.Virtualized = o.Virtualized
+	cfg.WarmupRefs = o.WarmupRefs
+	cfg.MaxRefs = o.MaxRefs
+	cfg.Seed = o.Seed
+	if o.POMSizeBytes != 0 {
+		cfg.POM.SizeBytes = o.POMSizeBytes
+	}
+	if o.POMWays != 0 {
+		cfg.POM.Ways = o.POMWays
+	}
+	cfg.DisableBypassPredictor = o.DisableBypass
+	cfg.CachePriority = o.CachePriority
+	cfg.NeighborPrefetch = o.NeighborPrefetch
+	return cfg
+}
+
+// Runner memoizes simulation results across figures so each
+// (workload, scheme) pair runs exactly once per campaign, even under
+// concurrent figure extraction.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cells map[runKey]*cell
+	sem   chan struct{}
+}
+
+type runKey struct {
+	workload string
+	mode     core.Mode
+}
+
+type cell struct {
+	once sync.Once
+	res  core.Result
+	err  error
+}
+
+// NewRunner creates a runner for the options.
+func NewRunner(opts Options) *Runner {
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:  opts,
+		cells: make(map[runKey]*cell),
+		sem:   make(chan struct{}, par),
+	}
+}
+
+// Options returns the campaign options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Result simulates (or returns the memoized result of) one workload under
+// one scheme.
+func (r *Runner) Result(name string, mode core.Mode) (core.Result, error) {
+	key := runKey{name, mode}
+	r.mu.Lock()
+	c, ok := r.cells[key]
+	if !ok {
+		c = &cell{}
+		r.cells[key] = c
+	}
+	r.mu.Unlock()
+	c.once.Do(func() {
+		c.res, c.err = r.simulate(name, mode)
+	})
+	return c.res, c.err
+}
+
+func (r *Runner) simulate(name string, mode core.Mode) (core.Result, error) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	p, ok := workloads.ByName(name)
+	if !ok {
+		return core.Result{}, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	cfg := r.opts.config(mode)
+	if mode != core.Baseline && !r.opts.UncalibratedWalks {
+		// Charge scheme-run walks at the measured baseline cost (§3.3).
+		pen := p.CyclesPerMissVirt
+		if !r.opts.Virtualized {
+			pen = p.CyclesPerMissNative
+		}
+		cfg.WalkPenaltyOverride = uint64(pen)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run(p.Generator(r.opts.Cores, r.opts.Seed), name)
+}
+
+// workloads returns the campaign's benchmark profiles (the Options subset,
+// or all of Table 2).
+func (r *Runner) workloads() []workloads.Profile {
+	if len(r.opts.Workloads) == 0 {
+		return workloads.All()
+	}
+	var out []workloads.Profile
+	for _, n := range r.opts.Workloads {
+		if p, ok := workloads.ByName(n); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// names returns the campaign's benchmark names.
+func (r *Runner) names() []string {
+	ps := r.workloads()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Prefetch runs the given (workload × mode) grid concurrently so later
+// figure extraction is instant.
+func (r *Runner) Prefetch(names []string, modes []core.Mode) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(names)*len(modes))
+	for _, n := range names {
+		for _, m := range modes {
+			wg.Add(1)
+			go func(n string, m core.Mode) {
+				defer wg.Done()
+				if _, err := r.Result(n, m); err != nil {
+					errCh <- err
+				}
+			}(n, m)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh // nil if empty
+}

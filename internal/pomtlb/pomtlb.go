@@ -1,0 +1,394 @@
+package pomtlb
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// Config sizes the POM-TLB.
+type Config struct {
+	// SizeBytes is the total capacity across both partitions (paper
+	// default 16 MB; Section 4.6 shows 8–32 MB changes results <1%).
+	SizeBytes uint64
+	// SmallFraction is the share of SizeBytes given to the 4 KB-page
+	// partition; the rest backs the 2 MB-page partition. The paper sets
+	// the split statically and observes exact sizes "do not matter much".
+	SmallFraction float64
+	// Ways is the set associativity. The paper uses 4 so one set is one
+	// 64 B DRAM burst; other values are supported for the ablation bench
+	// (sets then span multiple bursts).
+	Ways int
+	// BaseAddr is the host physical address the small partition is mapped
+	// at; the large partition follows immediately after.
+	BaseAddr uint64
+	// DRAM is the die-stacked channel configuration backing the TLB.
+	DRAM dram.Config
+}
+
+// DefaultConfig returns the paper's 16 MB, 4-way POM-TLB mapped at the
+// bottom of host physical memory on a dedicated die-stacked channel.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:     16 << 20,
+		SmallFraction: 0.5,
+		Ways:          4,
+		BaseAddr:      0,
+		DRAM:          dram.DieStacked(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0:
+		return fmt.Errorf("pomtlb: zero size")
+	case c.Ways <= 0:
+		return fmt.Errorf("pomtlb: ways must be positive")
+	case c.SmallFraction <= 0 || c.SmallFraction >= 1:
+		return fmt.Errorf("pomtlb: SmallFraction must be in (0,1)")
+	case c.BaseAddr%addr.CacheLineSize != 0:
+		return fmt.Errorf("pomtlb: base address must be line aligned")
+	}
+	return nil
+}
+
+// setBytes returns the byte span of one set.
+func (c Config) setBytes() uint64 { return uint64(c.Ways) * EntryBytes }
+
+// Partition is one of the two physically-partitioned structures
+// (POM_TLB_Small or POM_TLB_Large): a set-associative array of complete
+// translations, mapped at a contiguous physical address range so its sets
+// can be cached in the data caches.
+type Partition struct {
+	PageSize addr.PageSize
+	base     uint64
+	ways     int
+	numSets  uint64
+	setBytes uint64
+	sets     [][]Entry
+	lookups  stats.HitMiss
+	inserts  uint64
+	count    int
+}
+
+// newPartition carves numSets sets out of the address range at base.
+func newPartition(size addr.PageSize, base uint64, bytes uint64, ways int) *Partition {
+	setBytes := uint64(ways) * EntryBytes
+	n := bytes / setBytes
+	// Round down to a power of two so the index is a simple mask.
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	if n == 0 {
+		panic(fmt.Sprintf("pomtlb: partition too small for even one %d-way set", ways))
+	}
+	sets := make([][]Entry, n)
+	backing := make([]Entry, n*uint64(ways))
+	for i := range sets {
+		sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return &Partition{
+		PageSize: size,
+		base:     base,
+		ways:     ways,
+		numSets:  n,
+		setBytes: setBytes,
+		sets:     sets,
+	}
+}
+
+// Sets returns the number of sets.
+func (p *Partition) Sets() uint64 { return p.numSets }
+
+// Entries returns the partition's entry capacity.
+func (p *Partition) Entries() uint64 { return p.numSets * uint64(p.ways) }
+
+// SizeBytes returns the partition's mapped byte span.
+func (p *Partition) SizeBytes() uint64 { return p.numSets * p.setBytes }
+
+// Base returns the partition's base physical address.
+func (p *Partition) Base() uint64 { return p.base }
+
+// Count returns the number of valid entries.
+func (p *Partition) Count() int { return p.count }
+
+// Reach returns how many bytes of address space a full partition maps.
+func (p *Partition) Reach() uint64 { return p.Entries() * p.PageSize.Bytes() }
+
+// SetIndex implements Equation (1)'s set mapping: the page-aligned virtual
+// address, XORed with the VM ID and shifted by 6, selects the set. The
+// net effect of Equation (1)'s ">> 6" on a page-aligned VA is that four
+// *consecutive* virtual pages share one 64 B set line. This neighbour
+// clustering is what makes the design work: a sweep that misses on pages
+// p, p+1, p+2, p+3 fetches one line for all four translations, giving the
+// high data-cache hit ratios of Figure 9 and, because 32 sets (128
+// consecutive pages) share a DRAM row, the row-buffer locality of
+// Figure 11.
+func (p *Partition) SetIndex(va addr.VA, vm addr.VMID) uint64 {
+	return p.setIndexForVPN(va.VPN(p.PageSize), vm)
+}
+
+// setIndexForVPN mirrors SetIndex for callers holding a raw VPN. The VM ID
+// is spread by a Knuth multiplicative hash before the XOR: different VMs
+// running the same guest VA range must land in different set regions, or
+// their identical hot sets would fight for the same 4 ways.
+func (p *Partition) setIndexForVPN(vpn uint64, vm addr.VMID) uint64 {
+	spread := uint64(vm) * 2654435761
+	return (vpn>>2 ^ spread) & (p.numSets - 1)
+}
+
+// SetAddr returns the host physical address of the set that va maps to —
+// the address the MMU issues to the data caches (Equation 1).
+func (p *Partition) SetAddr(va addr.VA, vm addr.VMID) addr.HPA {
+	return addr.HPA(p.base + p.SetIndex(va, vm)*p.setBytes)
+}
+
+// LinesPerSet returns how many 64 B lines one set spans (1 for the paper's
+// 4-way design).
+func (p *Partition) LinesPerSet() int {
+	return int((p.setBytes + addr.CacheLineSize - 1) / addr.CacheLineSize)
+}
+
+// ageAllExcept implements the 2-bit LRU update: the touched way becomes
+// age 3, every other valid way in the set decays by one (saturating at 0).
+func ageAllExcept(set []Entry, touched int) {
+	for i := range set {
+		if i == touched {
+			set[i].LRU = 3
+			continue
+		}
+		if set[i].Valid && set[i].LRU > 0 {
+			set[i].LRU--
+		}
+	}
+}
+
+// Search probes the set for (vm, pid, va)'s translation, updating LRU bits
+// on a hit. The DRAM/cache access cost is accounted by the caller; Search
+// is the associative comparison done on the fetched 64 B burst.
+func (p *Partition) Search(vm addr.VMID, pid addr.PID, va addr.VA) (Entry, bool) {
+	vpn := va.VPN(p.PageSize)
+	set := p.sets[p.SetIndex(va, vm)]
+	for i := range set {
+		if set[i].matches(vm, pid, vpn) {
+			ageAllExcept(set, i)
+			p.lookups.Hit()
+			return set[i], true
+		}
+	}
+	p.lookups.Miss()
+	return Entry{}, false
+}
+
+// Insert installs a translation resolved by a page walk, evicting the
+// lowest-LRU way when the set is full. The paper notes the replacement
+// decision needs no extra DRAM access: the LRU bits arrive with the burst.
+func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
+	if !e.Valid || e.Size != p.PageSize {
+		panic(fmt.Sprintf("pomtlb: inserting %v into %s partition", e, p.PageSize))
+	}
+	set := p.sets[p.SetIndex(addr.VA(e.VPN<<p.PageSize.Shift()), e.VM)]
+	vi := -1
+	for i := range set {
+		if set[i].matches(e.VM, e.PID, e.VPN) {
+			set[i].PFN = e.PFN
+			set[i].Attr = e.Attr
+			ageAllExcept(set, i)
+			return Entry{}, false
+		}
+		if !set[i].Valid {
+			if vi == -1 || set[vi].Valid {
+				vi = i
+			}
+			continue
+		}
+		if vi == -1 || (set[vi].Valid && set[i].LRU < set[vi].LRU) {
+			vi = i
+		}
+	}
+	if set[vi].Valid {
+		victim, evicted = set[vi], true
+	} else {
+		p.count++
+	}
+	set[vi] = e
+	ageAllExcept(set, vi)
+	p.inserts++
+	return victim, evicted
+}
+
+// InvalidatePage removes one translation (shootdown).
+func (p *Partition) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64) bool {
+	set := p.sets[p.setIndexForVPN(vpn, vm)]
+	for i := range set {
+		if set[i].matches(vm, pid, vpn) {
+			set[i] = Entry{}
+			p.count--
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateProcess removes every entry of (vm, pid), returning the count
+// removed — required before the guest OS recycles a process ID (§2.2).
+func (p *Partition) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
+	n := 0
+	for _, set := range p.sets {
+		for i := range set {
+			if set[i].Valid && set[i].VM == vm && set[i].PID == pid {
+				set[i] = Entry{}
+				p.count--
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InvalidateVM removes every entry of a VM, returning the count removed.
+func (p *Partition) InvalidateVM(vm addr.VMID) int {
+	n := 0
+	for _, set := range p.sets {
+		for i := range set {
+			if set[i].Valid && set[i].VM == vm {
+				set[i] = Entry{}
+				p.count--
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns the associative-search hit/miss counters.
+func (p *Partition) Stats() stats.HitMiss { return p.lookups }
+
+// Inserts returns how many fills the partition has taken.
+func (p *Partition) Inserts() uint64 { return p.inserts }
+
+// ResetStats clears the counters; contents are untouched (used to discard
+// warmup statistics while keeping the warmed state).
+func (p *Partition) ResetStats() {
+	p.lookups = stats.HitMiss{}
+	p.inserts = 0
+}
+
+// SetEntries returns a copy of the set va maps to — the four translations
+// that arrive together in one 64 B burst. Callers implementing the §6
+// prefetching extension install the neighbours into the SRAM TLBs for
+// free.
+func (p *Partition) SetEntries(va addr.VA, vm addr.VMID) []Entry {
+	set := p.sets[p.SetIndex(va, vm)]
+	out := make([]Entry, len(set))
+	copy(out, set)
+	return out
+}
+
+// SetImage returns the raw 64 B-per-line memory image of a set — what a
+// cached copy of the set actually holds (Figure 5's layout).
+func (p *Partition) SetImage(setIdx uint64) []byte {
+	img := make([]byte, p.setBytes)
+	for i, e := range p.sets[setIdx] {
+		b := e.Encode()
+		copy(img[i*EntryBytes:], b[:])
+	}
+	return img
+}
+
+// TLB is the complete POM-TLB: both partitions plus the dedicated
+// die-stacked DRAM channel that services set fetches.
+type TLB struct {
+	cfg     Config
+	Small   *Partition
+	Large   *Partition
+	channel *dram.Channel
+}
+
+// New builds a POM-TLB; it panics on invalid configuration.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	smallBytes := uint64(float64(cfg.SizeBytes) * cfg.SmallFraction)
+	small := newPartition(addr.Page4K, cfg.BaseAddr, smallBytes, cfg.Ways)
+	large := newPartition(addr.Page2M, cfg.BaseAddr+small.SizeBytes(), cfg.SizeBytes-small.SizeBytes(), cfg.Ways)
+	return &TLB{
+		cfg:     cfg,
+		Small:   small,
+		Large:   large,
+		channel: dram.New(cfg.DRAM),
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Partition returns the partition for a page size.
+func (t *TLB) Partition(size addr.PageSize) *Partition {
+	if size == addr.Page2M {
+		return t.Large
+	}
+	return t.Small
+}
+
+// Contains reports whether a physical address falls inside the POM-TLB's
+// mapped range — such accesses are TLB-entry traffic, not data.
+func (t *TLB) Contains(a addr.HPA) bool {
+	x := uint64(a)
+	return x >= t.cfg.BaseAddr && x < t.cfg.BaseAddr+t.Small.SizeBytes()+t.Large.SizeBytes()
+}
+
+// AccessDRAM fetches (or writes back) one set from the die-stacked channel
+// at CPU time now, returning the aggregate latency and whether every burst
+// hit the row buffer. A 4-way set is a single 64 B burst.
+func (t *TLB) AccessDRAM(now uint64, setAddr addr.HPA, lines int, write bool) dram.Result {
+	res := t.channel.Access(now, setAddr, write)
+	for i := 1; i < lines; i++ {
+		r := t.channel.Access(now+res.Latency, setAddr+addr.HPA(i*addr.CacheLineSize), write)
+		res.Latency += r.Latency
+		res.RowBufferHit = res.RowBufferHit && r.RowBufferHit
+	}
+	return res
+}
+
+// DRAMStats exposes the channel counters (Figure 11's row-buffer hits).
+func (t *TLB) DRAMStats() dram.Stats { return t.channel.Stats() }
+
+// ResetStats clears partition and channel counters; contents and bank
+// state are untouched.
+func (t *TLB) ResetStats() {
+	t.Small.ResetStats()
+	t.Large.ResetStats()
+	t.channel.ResetStats()
+}
+
+// Reach returns the total address-space reach in bytes when full.
+func (t *TLB) Reach() uint64 { return t.Small.Reach() + t.Large.Reach() }
+
+// HitRate returns the combined associative-search hit ratio across both
+// partitions (the POM-TLB bar of Figure 9).
+func (t *TLB) HitRate() float64 {
+	hm := t.Small.Stats()
+	hm.Add(t.Large.Stats())
+	return hm.Ratio()
+}
+
+// InvalidatePage shoots a page out of the partition matching its size.
+func (t *TLB) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize) bool {
+	return t.Partition(size).InvalidatePage(vm, pid, vpn)
+}
+
+// InvalidateVM removes all of a VM's entries from both partitions.
+func (t *TLB) InvalidateVM(vm addr.VMID) int {
+	return t.Small.InvalidateVM(vm) + t.Large.InvalidateVM(vm)
+}
+
+// InvalidateProcess removes all of a process's entries from both
+// partitions.
+func (t *TLB) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
+	return t.Small.InvalidateProcess(vm, pid) + t.Large.InvalidateProcess(vm, pid)
+}

@@ -1,0 +1,147 @@
+package pomtlb
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/stats"
+)
+
+// Unified is the design the paper's footnote 1 leaves to future work: a
+// single POM-TLB holding both page sizes, made practical with *skewed
+// associativity* (Seznec) — each way indexes the array with a different
+// hash of (VPN, page size), so translations that conflict in one way
+// spread out in the others and no static small/large split is needed.
+//
+// The cost the paper avoided by splitting: a skewed set has no single
+// memory address, so its ways cannot be fetched as one 64 B burst or
+// cached as one line. Unified is therefore a standalone exploration (with
+// its own benchmarks) rather than a core simulator mode — exactly the
+// trade-off the footnote alludes to.
+type Unified struct {
+	ways    int
+	numSets uint64
+	// slots[w] is way w's array; a logical set is {slots[w][hash_w]}.
+	slots [][]Entry
+	// age drives an LRU-like choice among the skewed candidates.
+	age   [][]uint64
+	clock uint64
+
+	lookups stats.HitMiss
+	inserts uint64
+	// Conflicts counts inserts that displaced a valid entry.
+	Conflicts uint64
+}
+
+// NewUnified builds a skewed structure with the same total capacity as a
+// split POM-TLB of sizeBytes.
+func NewUnified(sizeBytes uint64, ways int) *Unified {
+	if ways <= 0 {
+		panic("pomtlb: ways must be positive")
+	}
+	entries := sizeBytes / EntryBytes
+	per := entries / uint64(ways)
+	for per&(per-1) != 0 {
+		per &= per - 1
+	}
+	if per == 0 {
+		panic(fmt.Sprintf("pomtlb: %d bytes too small for %d skewed ways", sizeBytes, ways))
+	}
+	u := &Unified{ways: ways, numSets: per}
+	for w := 0; w < ways; w++ {
+		u.slots = append(u.slots, make([]Entry, per))
+		u.age = append(u.age, make([]uint64, per))
+	}
+	return u
+}
+
+// Sets returns the per-way array length.
+func (u *Unified) Sets() uint64 { return u.numSets }
+
+// Entries returns the total capacity.
+func (u *Unified) Entries() uint64 { return u.numSets * uint64(u.ways) }
+
+// hash computes way w's skewing function over (vpn, size, vm).
+func (u *Unified) hash(w int, vpn uint64, size addr.PageSize, vm addr.VMID) uint64 {
+	x := vpn*2 + uint64(size)
+	x ^= uint64(vm) * 2654435761
+	// Distinct odd multipliers per way give near-independent mappings.
+	x *= 0x9E3779B97F4A7C15 ^ (uint64(w)*0x632BE59BD9B4E019 | 1)
+	x ^= x >> 29
+	return x & (u.numSets - 1)
+}
+
+// Search probes all ways for both page-size interpretations of va.
+func (u *Unified) Search(vm addr.VMID, pid addr.PID, va addr.VA) (Entry, bool) {
+	for _, size := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+		vpn := va.VPN(size)
+		for w := 0; w < u.ways; w++ {
+			i := u.hash(w, vpn, size, vm)
+			e := &u.slots[w][i]
+			if e.Valid && e.VM == vm && e.PID == pid && e.VPN == vpn && e.Size == size {
+				u.clock++
+				u.age[w][i] = u.clock
+				u.lookups.Hit()
+				return *e, true
+			}
+		}
+	}
+	u.lookups.Miss()
+	return Entry{}, false
+}
+
+// Insert places a translation in the least-recently-used of its skewed
+// candidate slots (empty slots first).
+func (u *Unified) Insert(e Entry) (victim Entry, evicted bool) {
+	if !e.Valid {
+		panic("pomtlb: inserting invalid entry")
+	}
+	u.clock++
+	bw, bi := -1, uint64(0)
+	for w := 0; w < u.ways; w++ {
+		i := u.hash(w, e.VPN, e.Size, e.VM)
+		s := &u.slots[w][i]
+		if s.Valid && s.VM == e.VM && s.PID == e.PID && s.VPN == e.VPN && s.Size == e.Size {
+			s.PFN = e.PFN
+			s.Attr = e.Attr
+			u.age[w][i] = u.clock
+			return Entry{}, false
+		}
+		if !s.Valid {
+			if bw == -1 || u.slots[bw][bi].Valid {
+				bw, bi = w, i
+			}
+			continue
+		}
+		if bw == -1 || (u.slots[bw][bi].Valid && u.age[w][i] < u.age[bw][bi]) {
+			bw, bi = w, i
+		}
+	}
+	if u.slots[bw][bi].Valid {
+		victim, evicted = u.slots[bw][bi], true
+		u.Conflicts++
+	}
+	u.slots[bw][bi] = e
+	u.age[bw][bi] = u.clock
+	u.inserts++
+	return victim, evicted
+}
+
+// Count returns the number of valid entries.
+func (u *Unified) Count() int {
+	n := 0
+	for _, way := range u.slots {
+		for i := range way {
+			if way[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns the lookup counters.
+func (u *Unified) Stats() stats.HitMiss { return u.lookups }
+
+// Inserts returns the fill count.
+func (u *Unified) Inserts() uint64 { return u.inserts }

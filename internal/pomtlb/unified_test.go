@@ -1,0 +1,152 @@
+package pomtlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestUnifiedGeometry(t *testing.T) {
+	u := NewUnified(16<<20, 4)
+	if u.Entries() != (16<<20)/16 {
+		t.Errorf("entries = %d", u.Entries())
+	}
+	if u.Sets()*4 != u.Entries() {
+		t.Errorf("sets = %d", u.Sets())
+	}
+}
+
+func TestUnifiedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ways": func() { NewUnified(1<<20, 0) },
+		"size": func() { NewUnified(16, 4) },
+		"inv":  func() { NewUnified(1<<20, 4).Insert(Entry{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnifiedBothSizesCoexist(t *testing.T) {
+	u := NewUnified(1<<20, 4)
+	// Same VA interpreted at both sizes — both must be retrievable.
+	va := addr.VA(0x4000_0000)
+	u.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: va.VPN(addr.Page4K), PFN: 0x11, Size: addr.Page4K})
+	e, ok := u.Search(1, 1, va)
+	if !ok || e.Size != addr.Page4K || e.PFN != 0x11 {
+		t.Fatalf("4K search = %+v, %v", e, ok)
+	}
+	u.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: addr.VA(0x8000_0000).VPN(addr.Page2M), PFN: 0x22, Size: addr.Page2M})
+	e, ok = u.Search(1, 1, 0x8000_0123)
+	if !ok || e.Size != addr.Page2M || e.PFN != 0x22 {
+		t.Fatalf("2M search = %+v, %v", e, ok)
+	}
+	if u.Count() != 2 {
+		t.Errorf("count = %d", u.Count())
+	}
+}
+
+func TestUnifiedRefresh(t *testing.T) {
+	u := NewUnified(1<<20, 4)
+	e := Entry{Valid: true, VM: 1, PID: 1, VPN: 7, PFN: 1, Size: addr.Page4K}
+	u.Insert(e)
+	e.PFN = 9
+	if _, ev := u.Insert(e); ev {
+		t.Error("refresh should not evict")
+	}
+	got, _ := u.Search(1, 1, addr.VA(7<<12))
+	if got.PFN != 9 {
+		t.Errorf("refresh lost: %+v", got)
+	}
+	if u.Count() != 1 {
+		t.Errorf("count = %d", u.Count())
+	}
+}
+
+func TestUnifiedIsolation(t *testing.T) {
+	u := NewUnified(1<<20, 4)
+	u.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: 5, PFN: 1, Size: addr.Page4K})
+	if _, ok := u.Search(2, 1, addr.VA(5<<12)); ok {
+		t.Error("VM leak")
+	}
+	if _, ok := u.Search(1, 9, addr.VA(5<<12)); ok {
+		t.Error("PID leak")
+	}
+}
+
+// The point of skewing: a set of VPNs engineered to collide in way 0
+// still mostly fits, because the other ways hash them apart. Compare
+// against the split 4-way partition where such aliases share one set.
+func TestSkewBeatsSetAssocOnAliases(t *testing.T) {
+	const capBytes = 64 << 10 // 4096 entries
+	u := NewUnified(capBytes, 4)
+	split := newPartition(addr.Page4K, 0, capBytes, 4)
+
+	// VPNs that alias in the split partition: same set index.
+	stride := split.Sets() * 4 // neighbour clustering: alias stride
+	var aliases []uint64
+	for i := uint64(0); i < 16; i++ {
+		aliases = append(aliases, i*stride)
+	}
+	for _, vpn := range aliases {
+		u.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: vpn, PFN: vpn, Size: addr.Page4K})
+		split.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: vpn, PFN: vpn, Size: addr.Page4K})
+	}
+	var uHits, sHits int
+	for _, vpn := range aliases {
+		if _, ok := u.Search(1, 1, addr.VA(vpn<<12)); ok {
+			uHits++
+		}
+		if _, ok := split.Search(1, 1, addr.VA(vpn<<12)); ok {
+			sHits++
+		}
+	}
+	if sHits > 4 {
+		t.Fatalf("split partition held %d aliases in one 4-way set?", sHits)
+	}
+	if uHits <= sHits {
+		t.Errorf("skewing should retain more aliases: unified %d vs split %d", uHits, sHits)
+	}
+}
+
+// Property: insert-then-search roundtrips for arbitrary entries.
+func TestUnifiedRoundtripProperty(t *testing.T) {
+	u := NewUnified(4<<20, 4)
+	f := func(raw uint64, pfn uint32, vm, pid uint8, large bool) bool {
+		size := addr.Page4K
+		if large {
+			size = addr.Page2M
+		}
+		va := addr.Canonical(raw)
+		u.Insert(Entry{Valid: true, VM: addr.VMID(vm), PID: addr.PID(pid),
+			VPN: va.VPN(size), PFN: uint64(pfn), Size: size})
+		e, ok := u.Search(addr.VMID(vm), addr.PID(pid), va)
+		return ok && e.PFN == uint64(pfn) && e.Size == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: capacity is never exceeded and hash indices stay in range.
+func TestUnifiedCapacityProperty(t *testing.T) {
+	u := NewUnified(64<<10, 4)
+	f := func(vpn uint16, large bool) bool {
+		size := addr.Page4K
+		if large {
+			size = addr.Page2M
+		}
+		u.Insert(Entry{Valid: true, VM: 1, PID: 1, VPN: uint64(vpn), PFN: 1, Size: size})
+		return uint64(u.Count()) <= u.Entries()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

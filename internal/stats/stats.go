@@ -1,0 +1,273 @@
+// Package stats provides the light-weight measurement primitives the
+// simulator layers share: hit/miss counters, scalar accumulators, latency
+// histograms, and geometric means for summarising per-workload speedups the
+// way the paper reports them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HitMiss counts accesses split into hits and misses.
+type HitMiss struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Hit records one hit.
+func (h *HitMiss) Hit() { h.Hits++ }
+
+// Miss records one miss.
+func (h *HitMiss) Miss() { h.Misses++ }
+
+// Record adds a hit when hit is true and a miss otherwise.
+func (h *HitMiss) Record(hit bool) {
+	if hit {
+		h.Hits++
+	} else {
+		h.Misses++
+	}
+}
+
+// Total returns the number of recorded accesses.
+func (h HitMiss) Total() uint64 { return h.Hits + h.Misses }
+
+// Ratio returns hits/total, or 0 when nothing was recorded.
+func (h HitMiss) Ratio() float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Hits) / float64(t)
+}
+
+// MissRatio returns misses/total, or 0 when nothing was recorded.
+func (h HitMiss) MissRatio() float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Misses) / float64(t)
+}
+
+// Add merges another counter into this one.
+func (h *HitMiss) Add(o HitMiss) {
+	h.Hits += o.Hits
+	h.Misses += o.Misses
+}
+
+// String implements fmt.Stringer.
+func (h HitMiss) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", h.Hits, h.Total(), 100*h.Ratio())
+}
+
+// Mean accumulates a running mean without storing samples.
+type Mean struct {
+	Sum   float64
+	Count uint64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(x float64) {
+	m.Sum += x
+	m.Count++
+}
+
+// ObserveN adds n identical samples, used when an event covers many cycles.
+func (m *Mean) ObserveN(x float64, n uint64) {
+	m.Sum += x * float64(n)
+	m.Count += n
+}
+
+// Value returns the mean, or 0 when no samples were observed.
+func (m Mean) Value() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Add merges another accumulator into this one.
+func (m *Mean) Add(o Mean) {
+	m.Sum += o.Sum
+	m.Count += o.Count
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper bounds
+// in ascending order; samples above the last bound land in an overflow
+// bucket.
+type Histogram struct {
+	Bounds []float64
+	Counts []uint64
+	mean   Mean
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	h.Counts[i]++
+	h.mean.Observe(x)
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() uint64 { return h.mean.Count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 { return h.mean.Value() }
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) using the
+// bucket boundaries; overflow samples report +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Geomean returns the geometric mean of xs; zero and negative inputs are
+// skipped (a speedup of ≤0 is a measurement artifact, not a datum). Returns
+// 0 for an empty input.
+func Geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// ArithMean returns the arithmetic mean of xs, or 0 for empty input.
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table renders aligned ASCII tables for cmd/experiments output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row, formatting each value with the verbs given per
+// column ("%s", "%.2f", "%d"...). Values beyond the verbs are stringified
+// with %v.
+func (t *Table) AddRowf(verbs []string, values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		verb := "%v"
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		cells[i] = fmt.Sprintf(verb, v)
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders a simple horizontal ASCII bar of value scaled against max
+// into width characters, used by cmd/experiments to sketch the figures.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(math.Round(value / max * float64(width)))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Pct formats a fraction as a percentage with two decimals.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

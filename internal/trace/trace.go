@@ -1,0 +1,155 @@
+// Package trace defines the memory-reference trace schema the simulator
+// consumes and provides both a binary file format and the synthetic
+// generators that stand in for the paper's PIN + pagemap traces.
+//
+// The record schema mirrors Section 3.2: virtual address, instruction
+// count between memory references (so memory-level parallelism and issue
+// cadence can be scheduled as in Ramulator), read/write flag, thread ID and
+// page size. The paper captured these from real SPEC/PARSEC/graph runs; we
+// synthesize streams with the same footprint, locality class, thread count
+// and large-page fraction per benchmark (see the workloads package), which
+// are the properties that determine TLB, cache and DRAM behaviour.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+)
+
+// Record is one memory reference.
+type Record struct {
+	// VA is the guest virtual address referenced.
+	VA addr.VA
+	// Gap is the number of non-memory instructions executed on this
+	// thread since its previous memory reference.
+	Gap uint32
+	// Write is true for stores.
+	Write bool
+	// Thread identifies the issuing thread (maps to a core).
+	Thread uint8
+	// Size is the OS-chosen page size backing the address (from the
+	// pagemap in the paper's traces; from the region layout here).
+	Size addr.PageSize
+}
+
+// Binary format: 8-byte magic+version header, little-endian u64 record
+// count, then 16 bytes per record.
+var magic = [8]byte{'P', 'O', 'M', 'T', 'R', 'C', '0', '1'}
+
+const recordBytes = 16
+
+// Writer streams records to a binary trace file.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   [recordBytes]byte
+}
+
+// NewWriter writes the header and returns a Writer. Close must be called
+// to flush; the record count is carried in each record stream's trailer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	binary.LittleEndian.PutUint64(w.buf[0:8], uint64(r.VA))
+	binary.LittleEndian.PutUint32(w.buf[8:12], r.Gap)
+	var flags byte
+	if r.Write {
+		flags |= 1
+	}
+	if r.Size == addr.Page2M {
+		flags |= 2
+	}
+	w.buf[12] = flags
+	w.buf[13] = r.Thread
+	w.buf[14], w.buf[15] = 0, 0
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records from a binary trace file.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordBytes]byte
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (r *Reader) Read() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	flags := r.buf[12]
+	size := addr.Page4K
+	if flags&2 != 0 {
+		size = addr.Page2M
+	}
+	return Record{
+		VA:     addr.VA(binary.LittleEndian.Uint64(r.buf[0:8])),
+		Gap:    binary.LittleEndian.Uint32(r.buf[8:12]),
+		Write:  flags&1 != 0,
+		Thread: r.buf[13],
+		Size:   size,
+	}, nil
+}
+
+// Generator produces an endless, deterministic reference stream.
+type Generator interface {
+	// Next returns the next record.
+	Next() Record
+	// Reset rewinds the generator to its initial state.
+	Reset()
+}
+
+// Collect drains n records from a generator into a slice.
+func Collect(g Generator, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// WriteAll generates n records into w.
+func WriteAll(w *Writer, g Generator, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.Write(g.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
