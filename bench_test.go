@@ -260,7 +260,7 @@ func BenchmarkPOMTLBEntryCodec(b *testing.B) {
 }
 
 func BenchmarkSRAMTLBLookup(b *testing.B) {
-	t := tlb.New(tlb.L2Unified())
+	t := tlb.MustNew(tlb.L2Unified())
 	for vpn := uint64(0); vpn < 1536; vpn++ {
 		t.Insert(tlb.Entry{VM: 1, PID: 1, VPN: vpn, PFN: vpn, Size: addr.Page4K, Valid: true})
 	}
@@ -271,7 +271,7 @@ func BenchmarkSRAMTLBLookup(b *testing.B) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
-	c := cache.New(cache.L2())
+	c := cache.MustNew(cache.L2())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		line := uint64(i % 8192)
@@ -282,7 +282,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 }
 
 func BenchmarkDRAMAccess(b *testing.B) {
-	ch := dram.New(dram.DieStacked())
+	ch := dram.MustNew(dram.DieStacked())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ch.Access(uint64(i)*10, addr.HPA(uint64(i%100_000)*64), false)

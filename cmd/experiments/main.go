@@ -7,27 +7,43 @@
 //	experiments -table 2                  # one table
 //	experiments -report EXPERIMENTS.md    # write the full markdown report
 //	experiments -quick -fig 8             # short traces, 2 cores
+//	experiments -all -checkpoint c.json   # journal completed cells
+//	experiments -all -checkpoint c.json -resume   # skip journaled cells
+//
+// SIGINT/SIGTERM cancel the in-flight simulations; the command still
+// emits every completed row (and the checkpoint keeps every completed
+// cell) before exiting non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// validFigs are the figure numbers this command can regenerate.
+var validFigs = map[int]bool{2: true, 3: true, 4: true, 8: true, 9: true, 10: true, 11: true, 12: true}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		all       = fs.Bool("all", false, "run every figure and ablation")
@@ -41,9 +57,29 @@ func run(args []string, out io.Writer) error {
 		wl        = fs.String("workloads", "", "comma-separated benchmark subset")
 		ablations = fs.Bool("ablations", false, "include the §4.6 ablation sweeps")
 		csvDir    = fs.String("csv", "", "write per-figure CSV files into this directory")
+		ckptPath  = fs.String("checkpoint", "", "journal completed (workload, scheme) cells to this JSON file")
+		resume    = fs.Bool("resume", false, "reuse cells already journaled in -checkpoint and run only the missing ones")
+		timeout   = fs.Duration("timeout", 0, "per-workload simulation deadline (0 = none), e.g. 90s")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch {
+	case *cores <= 0:
+		return fmt.Errorf("-cores must be positive (got %d)", *cores)
+	case *refs <= 0:
+		return fmt.Errorf("-refs must be positive (got %d)", *refs)
+	case *warmup < 0:
+		return fmt.Errorf("-warmup must be non-negative (got %d)", *warmup)
+	case *timeout < 0:
+		return fmt.Errorf("-timeout must be non-negative (got %v)", *timeout)
+	case *fig != 0 && !validFigs[*fig]:
+		return fmt.Errorf("-fig %d: valid figures are 2, 3, 4, 8, 9, 10, 11, 12", *fig)
+	case *table != 0 && *table != 1 && *table != 2:
+		return fmt.Errorf("-table %d: valid tables are 1 and 2", *table)
+	case *resume && *ckptPath == "":
+		return fmt.Errorf("-resume requires -checkpoint FILE")
 	}
 
 	opts := experiments.DefaultOptions()
@@ -55,17 +91,35 @@ func run(args []string, out io.Writer) error {
 	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
+		for _, n := range opts.Workloads {
+			if _, ok := workloads.ByName(n); !ok {
+				return fmt.Errorf("unknown workload %q (known: %s)", n, strings.Join(workloads.Names(), ", "))
+			}
+		}
 	}
-
-	if *csvDir != "" {
-		paths, err := experiments.WriteCSVs(*csvDir, experiments.NewRunner(opts))
+	opts.WorkloadTimeout = *timeout
+	if *ckptPath != "" {
+		if !*resume {
+			if _, err := os.Stat(*ckptPath); err == nil {
+				return fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove the file", *ckptPath)
+			}
+		}
+		cp, err := experiments.LoadCheckpoint(*ckptPath, experiments.Fingerprint(opts))
 		if err != nil {
 			return err
 		}
+		if *resume && cp.Len() > 0 {
+			fmt.Fprintf(out, "resuming: %d cell(s) already journaled in %s\n", cp.Len(), *ckptPath)
+		}
+		opts.Checkpoint = cp
+	}
+
+	if *csvDir != "" {
+		paths, err := experiments.WriteCSVsContext(ctx, *csvDir, experiments.NewRunner(opts))
 		for _, p := range paths {
 			fmt.Fprintln(out, p)
 		}
-		return nil
+		return describeDegraded(out, err)
 	}
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -73,14 +127,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := experiments.Report(f, opts, true); err != nil {
-			return err
-		}
+		rerr := experiments.ReportContext(ctx, f, opts, true)
 		fmt.Fprintf(out, "wrote %s\n", *report)
-		return nil
+		return describeDegraded(out, rerr)
 	}
 	if *all {
-		return experiments.Report(out, opts, *ablations)
+		return describeDegraded(out, experiments.ReportContext(ctx, out, opts, *ablations))
 	}
 
 	r := experiments.NewRunner(opts)
@@ -90,25 +142,21 @@ func run(args []string, out io.Writer) error {
 	case *table == 2:
 		fmt.Fprint(out, experiments.Table2())
 	case *fig == 2:
-		rows, err := experiments.Figure2(r)
-		if err != nil {
-			return err
-		}
+		rows, err := experiments.Figure2Context(ctx, r)
 		names, vals := make([]string, len(rows)), make([]float64, len(rows))
 		for i, row := range rows {
 			names[i], vals[i] = row.Name, row.SimCyc
 		}
 		fmt.Fprint(out, experiments.RenderBars("Figure 2 — simulated baseline cycles per L2 TLB miss", names, vals, "cyc"))
+		return describeDegraded(out, err)
 	case *fig == 3:
-		rows, err := experiments.Figure3(r)
-		if err != nil {
-			return err
-		}
+		rows, err := experiments.Figure3Context(ctx, r)
 		names, vals := make([]string, len(rows)), make([]float64, len(rows))
 		for i, row := range rows {
 			names[i], vals[i] = row.Name, row.SimRatio
 		}
 		fmt.Fprint(out, experiments.RenderBars("Figure 3 — virtualized / native translation cost", names, vals, "x"))
+		return describeDegraded(out, err)
 	case *fig == 4:
 		t := stats.NewTable("capacity", "normalized latency")
 		for _, pt := range experiments.Figure4() {
@@ -116,62 +164,70 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, t.String())
 	case *fig == 8:
-		rows, sum, err := experiments.Figure8(r)
-		if err != nil {
-			return err
-		}
+		rows, sum, err := experiments.Figure8Context(ctx, r)
 		t := stats.NewTable("benchmark", "POM-TLB %", "Shared_L2 %", "TSB %")
 		for _, row := range rows {
 			t.AddRow(row.Name, fmt.Sprintf("%.2f", row.POM),
 				fmt.Sprintf("%.2f", row.Shared), fmt.Sprintf("%.2f", row.TSB))
 		}
-		t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", sum.POMGeomeanPct),
-			fmt.Sprintf("%.2f", sum.SharedGeomeanPct), fmt.Sprintf("%.2f", sum.TSBGeomeanPct))
-		fmt.Fprint(out, t.String())
-	case *fig == 9:
-		rows, err := experiments.Figure9(r)
-		if err != nil {
-			return err
+		if len(rows) > 0 {
+			t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", sum.POMGeomeanPct),
+				fmt.Sprintf("%.2f", sum.SharedGeomeanPct), fmt.Sprintf("%.2f", sum.TSBGeomeanPct))
 		}
+		fmt.Fprint(out, t.String())
+		return describeDegraded(out, err)
+	case *fig == 9:
+		rows, err := experiments.Figure9Context(ctx, r)
 		t := stats.NewTable("benchmark", "L2D$", "L3D$", "POM-TLB", "walk elim")
 		for _, row := range rows {
 			t.AddRow(row.Name, stats.Pct(row.L2D), stats.Pct(row.L3D),
 				stats.Pct(row.POM), stats.Pct(row.WalkEl))
 		}
 		fmt.Fprint(out, t.String())
+		return describeDegraded(out, err)
 	case *fig == 10:
-		rows, err := experiments.Figure10(r)
-		if err != nil {
-			return err
-		}
+		rows, err := experiments.Figure10Context(ctx, r)
 		t := stats.NewTable("benchmark", "size acc", "bypass acc")
 		for _, row := range rows {
 			t.AddRow(row.Name, stats.Pct(row.SizeAcc), stats.Pct(row.BypassAcc))
 		}
 		fmt.Fprint(out, t.String())
+		return describeDegraded(out, err)
 	case *fig == 11:
-		rows, err := experiments.Figure11(r)
-		if err != nil {
-			return err
-		}
+		rows, err := experiments.Figure11Context(ctx, r)
 		names, vals := make([]string, len(rows)), make([]float64, len(rows))
 		for i, row := range rows {
 			names[i], vals[i] = row.Name, 100*row.RBH
 		}
 		fmt.Fprint(out, experiments.RenderBars("Figure 11 — POM-TLB row-buffer hit rate", names, vals, "%"))
+		return describeDegraded(out, err)
 	case *fig == 12:
-		rows, withAvg, noAvg, err := experiments.Figure12(r)
-		if err != nil {
-			return err
-		}
+		rows, withAvg, noAvg, err := experiments.Figure12Context(ctx, r)
 		t := stats.NewTable("benchmark", "with caching %", "without %")
 		for _, row := range rows {
 			t.AddRow(row.Name, fmt.Sprintf("%.2f", row.WithCache), fmt.Sprintf("%.2f", row.NoCache))
 		}
-		t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", withAvg), fmt.Sprintf("%.2f", noAvg))
+		if len(rows) > 0 {
+			t.AddRow("GEOMEAN", fmt.Sprintf("%.2f", withAvg), fmt.Sprintf("%.2f", noAvg))
+		}
 		fmt.Fprint(out, t.String())
+		return describeDegraded(out, err)
 	default:
 		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N or -report FILE")
 	}
 	return nil
+}
+
+// describeDegraded turns a campaign's aggregate error into a short
+// explanation after the partial rows have already been emitted, so an
+// interrupted or degraded run never hides the work that completed.
+func describeDegraded(out io.Writer, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *experiments.CampaignError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(out, "\npartial results above; %d cell(s) did not complete.\n", len(ce.Failures))
+	}
+	return err
 }

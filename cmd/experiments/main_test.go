@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,14 +12,14 @@ func quickArgs(extra ...string) []string {
 
 func TestTables(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-table", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-table", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "L2 Unified TLB") {
 		t.Error("table 1 output wrong")
 	}
 	sb.Reset()
-	if err := run([]string{"-table", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-table", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "mcf") {
@@ -29,7 +30,7 @@ func TestTables(t *testing.T) {
 func TestFigures(t *testing.T) {
 	for _, fig := range []string{"4", "8", "9", "10", "11", "12"} {
 		var sb strings.Builder
-		if err := run(quickArgs("-fig", fig), &sb); err != nil {
+		if err := run(context.Background(), quickArgs("-fig", fig), &sb); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if len(sb.String()) == 0 {
@@ -40,7 +41,7 @@ func TestFigures(t *testing.T) {
 
 func TestNoArgsErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(nil, &sb); err == nil {
+	if err := run(context.Background(), nil, &sb); err == nil {
 		t.Error("no action should error")
 	}
 }

@@ -5,14 +5,20 @@
 //	pomsim -workload mcf -mode pom-tlb -cores 8 -refs 500000
 //	pomsim -config experiment.json
 //	pomsim -list
+//
+// SIGINT/SIGTERM cancel an in-flight simulation; pomsim exits non-zero
+// with a message saying how far the run got.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -23,7 +29,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pomsim:", err)
 		os.Exit(1)
 	}
@@ -38,7 +46,7 @@ func parseMode(s string) (core.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb)", s)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pomsim", flag.ContinueOnError)
 	var (
 		workload = fs.String("workload", "mcf", "Table 2 benchmark name")
@@ -58,6 +66,22 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate flag values up front so a bad invocation fails with a
+	// usage error instead of a panic from deep inside the simulator.
+	switch {
+	case *cores <= 0:
+		return fmt.Errorf("-cores must be positive (got %d)", *cores)
+	case *cores > 256:
+		return fmt.Errorf("-cores must be at most 256 (got %d; trace threads are 8-bit)", *cores)
+	case *vms <= 0:
+		return fmt.Errorf("-vms must be positive (got %d)", *vms)
+	case *refs <= 0:
+		return fmt.Errorf("-refs must be positive (got %d)", *refs)
+	case *warmup < 0:
+		return fmt.Errorf("-warmup must be non-negative (got %d)", *warmup)
+	case *pomMB == 0:
+		return fmt.Errorf("-pom-mb must be positive")
 	}
 	if *list {
 		for _, name := range workloads.Names() {
@@ -95,7 +119,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown workload %q (try -list)", file.Workload)
 	}
 	if *compare {
-		return runComparison(out, p, file.Config)
+		return runComparison(ctx, out, p, file.Config)
 	}
 	sys, err := core.NewSystem(file.Config)
 	if err != nil {
@@ -116,7 +140,7 @@ func run(args []string, out io.Writer) error {
 		gen = replay
 		label = *trcPath
 	}
-	res, err := sys.Run(gen, label)
+	res, err := sys.RunContext(ctx, gen, label)
 	if err != nil {
 		return err
 	}
@@ -180,7 +204,7 @@ func printResult(out io.Writer, p workloads.Profile, res core.Result) {
 
 // runComparison runs every translation scheme on one workload and prints
 // the per-scheme penalties and modelled improvements side by side.
-func runComparison(out io.Writer, p workloads.Profile, base core.Config) error {
+func runComparison(ctx context.Context, out io.Writer, p workloads.Profile, base core.Config) error {
 	t := stats.NewTable("scheme", "P_avg", "walk elim", "improvement %")
 	for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.POMTLBNoCache,
 		core.SharedL2, core.TSB, core.L4Cache} {
@@ -190,7 +214,7 @@ func runComparison(out io.Writer, p workloads.Profile, base core.Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := sys.Run(p.Generator(cfg.Cores, cfg.Seed), p.Name)
+		res, err := sys.RunContext(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
 		if err != nil {
 			return err
 		}

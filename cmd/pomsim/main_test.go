@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ func TestParseMode(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-list"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "mcf") || !strings.Contains(sb.String(), "gups") {
@@ -33,7 +34,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSimulation(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-workload", "gups", "-cores", "2",
+	err := run(context.Background(), []string{"-workload", "gups", "-cores", "2",
 		"-refs", "20000", "-warmup", "40000"}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +49,7 @@ func TestRunSimulation(t *testing.T) {
 
 func TestRunBaselineNative(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-workload", "streamcluster", "-mode", "baseline", "-native",
+	err := run(context.Background(), []string{"-workload", "streamcluster", "-mode", "baseline", "-native",
 		"-cores", "2", "-refs", "10000", "-warmup", "10000"}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -60,13 +61,13 @@ func TestRunBaselineNative(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-workload", "nope", "-refs", "10", "-warmup", "0"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "nope", "-refs", "10", "-warmup", "0"}, &sb); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run([]string{"-mode", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-mode", "nope"}, &sb); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run([]string{"-config", "/does/not/exist.json"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-config", "/does/not/exist.json"}, &sb); err == nil {
 		t.Error("missing config accepted")
 	}
 }
@@ -83,7 +84,7 @@ func TestRunFromConfigFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-config", path}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-config", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "baseline") {
@@ -99,7 +100,7 @@ func TestCapPen(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-workload", "gups", "-cores", "2",
+	err := run(context.Background(), []string{"-workload", "gups", "-cores", "2",
 		"-refs", "5000", "-warmup", "5000", "-json"}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +120,7 @@ func jsonUnmarshal(s string, v any) error {
 
 func TestRunCompare(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-workload", "gups", "-cores", "2",
+	err := run(context.Background(), []string{"-workload", "gups", "-cores", "2",
 		"-refs", "8000", "-warmup", "20000", "-compare"}, &sb)
 	if err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/addr"
 	"repro/internal/trace"
@@ -40,13 +41,23 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate flag values up front so a bad invocation fails with a
+	// usage error instead of a panic from inside the generator.
+	switch {
+	case *n <= 0:
+		return fmt.Errorf("-n must be positive (got %d)", *n)
+	case *threads <= 0:
+		return fmt.Errorf("-threads must be positive (got %d)", *threads)
+	case *threads > 256:
+		return fmt.Errorf("-threads must be at most 256 (got %d; the trace format stores 8-bit thread ids)", *threads)
+	}
 	if *inspect != "" {
 		return summarize(out, *inspect)
 	}
 
 	p, ok := workloads.ByName(*workload)
 	if !ok {
-		return fmt.Errorf("unknown workload %q", *workload)
+		return fmt.Errorf("unknown workload %q (known: %s)", *workload, strings.Join(workloads.Names(), ", "))
 	}
 	if *analyze {
 		a := trace.Analyze(p.Generator(*threads, *seed), *n)

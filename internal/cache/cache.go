@@ -178,10 +178,10 @@ type Cache struct {
 	resident [numKinds]uint64
 }
 
-// New builds a cache level; it panics on invalid configuration.
-func New(cfg Config) *Cache {
+// New builds a cache level, reporting configuration errors.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := cfg.Sets()
 	sets := make([][]way, n)
@@ -189,7 +189,17 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: n - 1}
+	return &Cache{cfg: cfg, sets: sets, setMask: n - 1}, nil
+}
+
+// MustNew is New but panics on invalid configuration — the historical
+// behavior, used by call sites whose configuration was already validated.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Config returns the level's configuration.

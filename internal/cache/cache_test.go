@@ -45,11 +45,11 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	New(Config{})
+	MustNew(Config{})
 }
 
 func TestMissThenFillThenHit(t *testing.T) {
-	c := New(L1D())
+	c := MustNew(L1D())
 	if c.Access(0x100, false, Data) {
 		t.Error("cold access should miss")
 	}
@@ -67,7 +67,7 @@ func TestMissThenFillThenHit(t *testing.T) {
 
 func TestWriteMarksDirtyAndWritebackOnEvict(t *testing.T) {
 	cfg := Config{Name: "tiny", SizeBytes: 2 * 64, Ways: 2, Latency: 1} // 1 set, 2 ways
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(1, true, Data) // dirty
 	c.Fill(2, false, Data)
 	ev := c.Fill(3, false, Data) // evicts LRU = line 1
@@ -81,7 +81,7 @@ func TestWriteMarksDirtyAndWritebackOnEvict(t *testing.T) {
 
 func TestLRUOrder(t *testing.T) {
 	cfg := Config{Name: "tiny", SizeBytes: 2 * 64, Ways: 2, Latency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(1, false, Data)
 	c.Fill(2, false, Data)
 	c.Access(1, false, Data) // touch 1, making 2 the LRU
@@ -96,7 +96,7 @@ func TestLRUOrder(t *testing.T) {
 
 func TestFillExistingRefreshes(t *testing.T) {
 	cfg := Config{Name: "tiny", SizeBytes: 2 * 64, Ways: 2, Latency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(1, false, Data)
 	c.Fill(2, false, Data)
 	if ev := c.Fill(1, true, Data); ev.Valid {
@@ -118,7 +118,7 @@ func TestFillExistingRefreshes(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(L1D())
+	c := MustNew(L1D())
 	c.Fill(7, true, TLBEntry)
 	present, dirty := c.Invalidate(7)
 	if !present || !dirty {
@@ -134,7 +134,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestKindStatsSeparated(t *testing.T) {
-	c := New(L1D())
+	c := MustNew(L1D())
 	c.Access(1, false, Data) // miss
 	c.Fill(1, false, Data)
 	c.Access(1, false, Data)     // hit
@@ -153,7 +153,7 @@ func TestKindStatsSeparated(t *testing.T) {
 
 func TestResidentTracking(t *testing.T) {
 	cfg := Config{Name: "tiny", SizeBytes: 2 * 64, Ways: 2, Latency: 1}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Fill(1, false, Data)
 	c.Fill(2, false, TLBEntry)
 	if c.Resident(Data) != 1 || c.Resident(TLBEntry) != 1 {
@@ -173,7 +173,7 @@ func TestResidentTracking(t *testing.T) {
 }
 
 func TestDifferentSetsDoNotConflict(t *testing.T) {
-	c := New(L1D()) // 64 sets
+	c := MustNew(L1D()) // 64 sets
 	for line := uint64(0); line < 64; line++ {
 		c.Fill(line, false, Data)
 	}
@@ -191,7 +191,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	c := New(L1D())
+	c := MustNew(L1D())
 	c.Access(1, false, Data)
 	c.ResetStats()
 	if c.Stats().Access[Data].Total() != 0 {
@@ -203,7 +203,7 @@ func TestResetStats(t *testing.T) {
 // always immediately look-up-able.
 func TestFillLookupProperty(t *testing.T) {
 	cfg := Config{Name: "prop", SizeBytes: 8 * 64, Ways: 2, Latency: 1} // 4 sets
-	c := New(cfg)
+	c := MustNew(cfg)
 	capacity := cfg.SizeBytes / 64
 	f := func(raw uint16, write, tlb bool) bool {
 		line := uint64(raw % 64)
@@ -224,7 +224,7 @@ func TestFillLookupProperty(t *testing.T) {
 
 // Property: hits + misses always equals accesses issued.
 func TestAccessCountProperty(t *testing.T) {
-	c := New(L2())
+	c := MustNew(L2())
 	var issued uint64
 	f := func(raw uint16, write bool) bool {
 		issued++
@@ -240,7 +240,7 @@ func TestAccessCountProperty(t *testing.T) {
 
 // Property: an access immediately after a fill of the same line hits.
 func TestTemporalLocalityProperty(t *testing.T) {
-	c := New(L3())
+	c := MustNew(L3())
 	f := func(raw uint32) bool {
 		line := uint64(raw)
 		c.Fill(line, false, Data)
@@ -252,7 +252,7 @@ func TestTemporalLocalityProperty(t *testing.T) {
 }
 
 func TestInvalidateKind(t *testing.T) {
-	c := New(L1D())
+	c := MustNew(L1D())
 	c.Fill(1, false, Data)
 	c.Fill(2, true, TLBEntry)
 	c.Fill(3, false, TLBEntry)

@@ -6,7 +6,7 @@ import (
 )
 
 func tinyWithPriority(p Priority) *Cache {
-	return New(Config{Name: "tiny", SizeBytes: 4 * 64, Ways: 4, Latency: 1, Priority: p})
+	return MustNew(Config{Name: "tiny", SizeBytes: 4 * 64, Ways: 4, Latency: 1, Priority: p})
 }
 
 func TestPriorityString(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -156,10 +157,32 @@ func (s *System) minClockCore() *coreState {
 // Run consumes WarmupRefs + MaxRefs records from the generator, resetting
 // statistics after warmup, and returns the final Result.
 func (s *System) Run(g trace.Generator, workload string) (Result, error) {
+	return s.RunContext(context.Background(), g, workload)
+}
+
+// cancelCheckInterval is how many records run between context polls: a
+// record costs tens of nanoseconds to simulate, so checking every 1024
+// keeps cancellation latency well under a millisecond at negligible cost.
+const cancelCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx between records and returns ctx.Err() (with the partial Result
+// accumulated so far) when the deadline passes or the campaign is
+// cancelled mid-run.
+func (s *System) RunContext(ctx context.Context, g trace.Generator, workload string) (Result, error) {
 	s.res.Workload = workload
 	total := s.cfg.WarmupRefs + s.cfg.MaxRefs
 	sched := newScheduler(g, len(s.cores))
 	for i := 0; i < total; i++ {
+		if i%cancelCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				s.finalize()
+				return s.res, fmt.Errorf("core: %s interrupted after %d/%d refs: %w",
+					workload, i, total, ctx.Err())
+			default:
+			}
+		}
 		if i == s.cfg.WarmupRefs {
 			s.resetStats()
 		}

@@ -75,14 +75,14 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		cfg: cfg,
 		hyp: virt.NewHypervisor(virt.DefaultConfig()),
-		l3:  cache.New(cfg.L3),
+		l3:  cache.MustNew(cfg.L3),
 	}
 	nch := cfg.DDRChannels
 	if nch <= 0 {
 		nch = 1
 	}
 	for i := 0; i < nch; i++ {
-		s.ddr = append(s.ddr, dram.New(cfg.DDR))
+		s.ddr = append(s.ddr, dram.MustNew(cfg.DDR))
 	}
 	if cfg.Virtualized {
 		for i := 0; i < cfg.VMs; i++ {
@@ -97,25 +97,25 @@ func NewSystem(cfg Config) (*System, error) {
 	case POMTLB, POMTLBNoCache:
 		s.pom = pomtlb.New(cfg.POM)
 	case TSB:
-		s.tsbB = tsb.New(cfg.TSBCfg)
+		s.tsbB = tsb.MustNew(cfg.TSBCfg)
 	case SharedL2:
-		s.shared = tlb.New(tlb.SharedL2(cfg.Cores))
+		s.shared = tlb.MustNew(tlb.SharedL2(cfg.Cores))
 	case L4Cache:
-		s.l4 = cache.New(cache.Config{
+		s.l4 = cache.MustNew(cache.Config{
 			Name:      "L4",
 			SizeBytes: cfg.POM.SizeBytes, // same capacity as the TLB it replaces
 			Ways:      16,
 			Latency:   0, // the DRAM access itself is charged per hit
 		})
-		s.l4chan = dram.New(cfg.POM.DRAM)
+		s.l4chan = dram.MustNew(cfg.POM.DRAM)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
 			id:    i,
 			l1tlb: tlb.NewSplitL1(),
-			l2tlb: tlb.New(cfg.L2TLB),
-			l1d:   cache.New(cfg.L1D),
-			l2:    cache.New(cfg.L2),
+			l2tlb: tlb.MustNew(cfg.L2TLB),
+			l1d:   cache.MustNew(cfg.L1D),
+			l2:    cache.MustNew(cfg.L2),
 			pred:  &pomtlb.Predictor{},
 			pid:   1,
 		}

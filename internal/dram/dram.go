@@ -55,6 +55,12 @@ type Config struct {
 	// rank for tRFC ≈ 350 ns). 0 disables refresh modelling.
 	TREFI uint64
 	TRFC  uint64
+
+	// FaultHook, when non-nil, runs at the start of every Access — the
+	// fault-injection seam (internal/resilience/faultinject) used to fail
+	// the N-th DRAM access deterministically. Never set in production
+	// configurations; excluded from JSON round-trips.
+	FaultHook func() `json:"-"`
 }
 
 // DieStacked returns the Table 1 die-stacked DRAM channel configuration.
@@ -183,11 +189,10 @@ type Channel struct {
 	stats       Stats
 }
 
-// New creates a channel; it panics on an invalid configuration because a
-// broken substrate invalidates every simulation built on it.
-func New(cfg Config) *Channel {
+// New creates a channel, reporting configuration errors.
+func New(cfg Config) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	linesPerRow := cfg.RowBytes / addr.CacheLineSize
 	colBits := uint(0)
@@ -199,7 +204,18 @@ func New(cfg Config) *Channel {
 		banks:    make([]bank, cfg.Banks),
 		colBits:  colBits,
 		bankMask: uint64(cfg.Banks - 1),
+	}, nil
+}
+
+// MustNew is New but panics on an invalid configuration — the historical
+// behavior, kept for the simulator core whose Config is validated up
+// front: a broken substrate invalidates every simulation built on it.
+func MustNew(cfg Config) *Channel {
+	ch, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return ch
 }
 
 // Config returns the channel's configuration.
@@ -238,6 +254,9 @@ func popcountMask(m uint64) int {
 // Section 2.2 relies on. Channel throughput is therefore bounded by the
 // burst rate, not by the full access latency.
 func (ch *Channel) Access(now uint64, a addr.HPA, write bool) Result {
+	if ch.cfg.FaultHook != nil {
+		ch.cfg.FaultHook()
+	}
 	bi, row := ch.decompose(a)
 	b := &ch.banks[bi]
 

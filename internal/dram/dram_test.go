@@ -38,7 +38,7 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	New(Config{})
+	MustNew(Config{})
 }
 
 func TestCycleConversion(t *testing.T) {
@@ -59,7 +59,7 @@ func TestCycleConversion(t *testing.T) {
 }
 
 func TestRowBufferHitSequence(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	// First access: bank closed -> row miss (activate).
 	r1 := ch.Access(0, 0x0, false)
 	if r1.RowBufferHit {
@@ -77,7 +77,7 @@ func TestRowBufferHitSequence(t *testing.T) {
 
 func TestRowConflictIsSlowest(t *testing.T) {
 	cfg := DieStacked()
-	ch := New(cfg)
+	ch := MustNew(cfg)
 	linesPerRow := cfg.RowBytes / addr.CacheLineSize
 	rowStride := linesPerRow * uint64(cfg.Banks) * addr.CacheLineSize
 
@@ -97,7 +97,7 @@ func TestRowConflictIsSlowest(t *testing.T) {
 }
 
 func TestBankBusyAddsWait(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	first := ch.Access(0, 0, false)
 	// Immediately access the same bank again: must wait for busyUntil.
 	second := ch.Access(0, 64, false)
@@ -111,7 +111,7 @@ func TestBankBusyAddsWait(t *testing.T) {
 
 func TestDifferentBanksOverlapOnlyOnBus(t *testing.T) {
 	cfg := DieStacked()
-	ch := New(cfg)
+	ch := MustNew(cfg)
 	linesPerRow := cfg.RowBytes / addr.CacheLineSize
 	bankStride := linesPerRow * addr.CacheLineSize // next bank, same upper row
 	a := ch.Access(0, 0, false)
@@ -127,7 +127,7 @@ func TestDifferentBanksOverlapOnlyOnBus(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	ch.Access(0, 0, false)
 	ch.Access(10_000, 64, true)
 	s := ch.Stats()
@@ -161,7 +161,7 @@ func TestEmptyStats(t *testing.T) {
 }
 
 func TestSequentialStreamHighRBH(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	var a addr.HPA
 	for i := 0; i < 10_000; i++ {
 		ch.Access(uint64(i)*100, a, false)
@@ -173,7 +173,7 @@ func TestSequentialStreamHighRBH(t *testing.T) {
 }
 
 func TestRandomStreamLowRBH(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	x := uint64(0x12345)
 	for i := 0; i < 10_000; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
@@ -187,7 +187,7 @@ func TestRandomStreamLowRBH(t *testing.T) {
 // Property: decompose is stable and within geometry bounds, and two
 // addresses in the same 2 KB-aligned region of a bank map to the same row.
 func TestDecomposeProperty(t *testing.T) {
-	ch := New(DieStacked())
+	ch := MustNew(DieStacked())
 	f := func(raw uint64) bool {
 		a := addr.HPA(raw & ((1 << 40) - 1))
 		b1, r1 := ch.decompose(a)
@@ -206,7 +206,7 @@ func TestDecomposeProperty(t *testing.T) {
 func TestLatencyLowerBoundProperty(t *testing.T) {
 	cfg := DieStacked()
 	minLat := cfg.CtrlOverhead + cfg.cpuCycles(cfg.TCAS) + cfg.BurstCycles()
-	ch := New(cfg)
+	ch := MustNew(cfg)
 	now := uint64(0)
 	f := func(raw uint32) bool {
 		now += 10_000 // keep banks idle so wait ≈ 0
@@ -222,7 +222,7 @@ func TestRefreshClosesRows(t *testing.T) {
 	cfg := DieStacked()
 	cfg.TREFI = 1000
 	cfg.TRFC = 100
-	ch := New(cfg)
+	ch := MustNew(cfg)
 	ch.Access(0, 0, false)
 	// Same row again before the refresh: hit.
 	if !ch.Access(10, 64, false).RowBufferHit {
@@ -241,7 +241,7 @@ func TestRefreshClosesRows(t *testing.T) {
 func TestRefreshDisabled(t *testing.T) {
 	cfg := DieStacked()
 	cfg.TREFI = 0
-	ch := New(cfg)
+	ch := MustNew(cfg)
 	ch.Access(0, 0, false)
 	if !ch.Access(1_000_000_000, 64, false).RowBufferHit {
 		t.Error("without refresh the row stays open indefinitely")

@@ -82,7 +82,7 @@ func (h *reqHeap) Pop() any {
 // each step it issues, among the requests whose bank is ready, first any
 // row-buffer hit (first-ready) and otherwise the oldest request (FCFS).
 func (s *Scheduler) Run(reqs []Request) []Completion {
-	ch := New(s.cfg) // reuse the bank geometry decomposition
+	ch := MustNew(s.cfg) // reuse the bank geometry decomposition
 	type bankState struct {
 		openRow   uint64
 		hasOpen   bool

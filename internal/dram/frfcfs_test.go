@@ -89,7 +89,7 @@ func TestSchedulerAgreesWithChannel(t *testing.T) {
 		s := NewScheduler(cfg)
 		cs := s.Run(reqs)
 
-		ch := New(cfg)
+		ch := MustNew(cfg)
 		var chHits, chTotal uint64
 		var chLat float64
 		for _, r := range reqs {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"repro/internal/cache"
@@ -26,21 +27,25 @@ type AblationPoint struct {
 }
 
 // sweep evaluates POM-TLB over the ablation subset for each option
-// variant and aggregates.
-func sweep(base Options, labels []string, variant func(Options, int) Options) ([]AblationPoint, error) {
+// variant and aggregates. Failed cells drop out of a point's aggregate
+// (a point with no surviving cells is dropped entirely); every failure
+// is reported through the returned *CampaignError.
+func sweep(ctx context.Context, base Options, labels []string, variant func(Options, int) Options) ([]AblationPoint, error) {
+	var fs failureSet
 	var out []AblationPoint
 	for i, label := range labels {
 		opts := variant(base, i)
+		opts.Checkpoint = nil // ablation variants have their own fingerprints
 		r := NewRunner(opts)
-		if err := r.Prefetch(ablationWorkloads, []core.Mode{core.POMTLB}); err != nil {
-			return nil, err
-		}
+		_ = r.PrefetchContext(ctx, ablationWorkloads, []core.Mode{core.POMTLB})
 		var speedups []float64
 		var penSum, elimSum float64
+		n := 0
 		for _, name := range ablationWorkloads {
-			res, err := r.Result(name, core.POMTLB)
+			res, err := r.ResultContext(ctx, name, core.POMTLB)
 			if err != nil {
-				return nil, err
+				fs.record(err, name, core.POMTLB)
+				continue
 			}
 			p, _ := workloads.ByName(name)
 			pen := res.AvgPenalty()
@@ -51,26 +56,35 @@ func sweep(base Options, labels []string, variant func(Options, int) Options) ([
 			}
 			imp, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p, pen))
 			if err != nil {
-				return nil, err
+				fs.record(err, name, core.POMTLB)
+				continue
 			}
 			speedups = append(speedups, 1+imp/100)
+			n++
 		}
-		n := float64(len(ablationWorkloads))
+		if n == 0 {
+			continue
+		}
 		out = append(out, AblationPoint{
 			Label:              label,
 			MeanImprovementPct: perfmodel.GeomeanImprovementPct(speedups),
-			MeanPenalty:        penSum / n,
-			WalkElimination:    elimSum / n,
+			MeanPenalty:        penSum / float64(n),
+			WalkElimination:    elimSum / float64(n),
 		})
 	}
-	return out, nil
+	return out, fs.err()
 }
 
 // AblationCapacity reproduces §4.6: POM-TLB capacity 8/16/32 MB changes
 // the improvement by under a percent.
 func AblationCapacity(base Options) ([]AblationPoint, error) {
+	return AblationCapacityContext(context.Background(), base)
+}
+
+// AblationCapacityContext is AblationCapacity with cancellation.
+func AblationCapacityContext(ctx context.Context, base Options) ([]AblationPoint, error) {
 	sizes := []uint64{8 << 20, 16 << 20, 32 << 20}
-	return sweep(base, []string{"8MB", "16MB", "32MB"}, func(o Options, i int) Options {
+	return sweep(ctx, base, []string{"8MB", "16MB", "32MB"}, func(o Options, i int) Options {
 		o.POMSizeBytes = sizes[i]
 		return o
 	})
@@ -79,8 +93,13 @@ func AblationCapacity(base Options) ([]AblationPoint, error) {
 // AblationCores reproduces §4.6: core counts 4/8/16 leave the improvement
 // approximately unchanged (the POM-TLB is large enough for all of them).
 func AblationCores(base Options) ([]AblationPoint, error) {
+	return AblationCoresContext(context.Background(), base)
+}
+
+// AblationCoresContext is AblationCores with cancellation.
+func AblationCoresContext(ctx context.Context, base Options) ([]AblationPoint, error) {
 	cores := []int{4, 8, 16}
-	return sweep(base, []string{"4 cores", "8 cores", "16 cores"}, func(o Options, i int) Options {
+	return sweep(ctx, base, []string{"4 cores", "8 cores", "16 cores"}, func(o Options, i int) Options {
 		o.Cores = cores[i]
 		return o
 	})
@@ -89,8 +108,13 @@ func AblationCores(base Options) ([]AblationPoint, error) {
 // AblationAssociativity sweeps the POM-TLB associativity (the paper: below
 // 4 ways, conflict misses rise sharply; 4 ways fits exactly one burst).
 func AblationAssociativity(base Options) ([]AblationPoint, error) {
+	return AblationAssociativityContext(context.Background(), base)
+}
+
+// AblationAssociativityContext is AblationAssociativity with cancellation.
+func AblationAssociativityContext(ctx context.Context, base Options) ([]AblationPoint, error) {
 	ways := []int{1, 2, 4, 8}
-	return sweep(base, []string{"1-way", "2-way", "4-way", "8-way"}, func(o Options, i int) Options {
+	return sweep(ctx, base, []string{"1-way", "2-way", "4-way", "8-way"}, func(o Options, i int) Options {
 		o.POMWays = ways[i]
 		return o
 	})
@@ -99,7 +123,12 @@ func AblationAssociativity(base Options) ([]AblationPoint, error) {
 // AblationBypass compares the bypass predictor against forcing every
 // access through the cache probes.
 func AblationBypass(base Options) ([]AblationPoint, error) {
-	return sweep(base, []string{"predictor", "never-bypass"}, func(o Options, i int) Options {
+	return AblationBypassContext(context.Background(), base)
+}
+
+// AblationBypassContext is AblationBypass with cancellation.
+func AblationBypassContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+	return sweep(ctx, base, []string{"predictor", "never-bypass"}, func(o Options, i int) Options {
 		o.DisableBypass = i == 1
 		return o
 	})
@@ -109,8 +138,13 @@ func AblationBypass(base Options) ([]AblationPoint, error) {
 // replacement that prioritizes retaining POM-TLB entries (or data) in the
 // L2/L3 data caches.
 func AblationTLBAwareCaching(base Options) ([]AblationPoint, error) {
+	return AblationTLBAwareCachingContext(context.Background(), base)
+}
+
+// AblationTLBAwareCachingContext is AblationTLBAwareCaching with cancellation.
+func AblationTLBAwareCachingContext(ctx context.Context, base Options) ([]AblationPoint, error) {
 	prios := []cache.Priority{cache.NoPriority, cache.PreferTLB, cache.PreferData}
-	return sweep(base, []string{"kind-blind", "prefer-tlb", "prefer-data"}, func(o Options, i int) Options {
+	return sweep(ctx, base, []string{"kind-blind", "prefer-tlb", "prefer-data"}, func(o Options, i int) Options {
 		o.CachePriority = prios[i]
 		return o
 	})
@@ -119,7 +153,12 @@ func AblationTLBAwareCaching(base Options) ([]AblationPoint, error) {
 // AblationNeighborPrefetch explores the Section 6 prefetch extension:
 // installing a fetched burst's neighbouring translations into the L2 TLB.
 func AblationNeighborPrefetch(base Options) ([]AblationPoint, error) {
-	return sweep(base, []string{"no-prefetch", "neighbor-prefetch"}, func(o Options, i int) Options {
+	return AblationNeighborPrefetchContext(context.Background(), base)
+}
+
+// AblationNeighborPrefetchContext is AblationNeighborPrefetch with cancellation.
+func AblationNeighborPrefetchContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+	return sweep(ctx, base, []string{"no-prefetch", "neighbor-prefetch"}, func(o Options, i int) Options {
 		o.NeighborPrefetch = i == 1
 		return o
 	})
@@ -128,11 +167,16 @@ func AblationNeighborPrefetch(base Options) ([]AblationPoint, error) {
 // MultiVMStudy reproduces §5.2: several VMs sharing one POM-TLB still see
 // high walk elimination because the large TLB holds all VMs' hot sets.
 func MultiVMStudy(base Options, vmCounts []int) ([]AblationPoint, error) {
+	return MultiVMStudyContext(context.Background(), base, vmCounts)
+}
+
+// MultiVMStudyContext is MultiVMStudy with cancellation.
+func MultiVMStudyContext(ctx context.Context, base Options, vmCounts []int) ([]AblationPoint, error) {
 	labels := make([]string, len(vmCounts))
 	for i, v := range vmCounts {
 		labels[i] = strconv.Itoa(v) + " VMs"
 	}
-	return sweep(base, labels, func(o Options, i int) Options {
+	return sweep(ctx, base, labels, func(o Options, i int) Options {
 		o.VMs = vmCounts[i]
 		return o
 	})

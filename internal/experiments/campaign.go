@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// WorkloadError is one failed (workload, scheme) cell of a campaign: the
+// structured per-job error the resilience layer produces when a worker
+// panics, times out, is cancelled, or hits a simulation error. The rest
+// of the campaign keeps running; the figure and report layers skip the
+// failed cells and surface the failures alongside the partial results.
+type WorkloadError struct {
+	Workload string
+	Mode     core.Mode
+	Err      error
+}
+
+// Error implements error.
+func (e *WorkloadError) Error() string {
+	return fmt.Sprintf("workload %s/%s: %v", e.Workload, e.Mode, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As (including *resilience.PanicError
+// for recovered worker panics and context errors for cancellations).
+func (e *WorkloadError) Unwrap() error { return e.Err }
+
+// asWorkloadError normalizes an error from a campaign cell: errors that
+// already carry their (workload, scheme) identity pass through; anything
+// else is tagged with the cell it came from.
+func asWorkloadError(err error, name string, mode core.Mode) *WorkloadError {
+	var we *WorkloadError
+	if errors.As(err, &we) {
+		return we
+	}
+	return &WorkloadError{Workload: name, Mode: mode, Err: err}
+}
+
+// CampaignError aggregates every failed cell of a degraded campaign. A
+// campaign entry point that returns partial results pairs them with a
+// *CampaignError so callers can render what completed and report exactly
+// which (scheme, workload) cells are missing.
+type CampaignError struct {
+	Failures []*WorkloadError
+}
+
+// Error implements error with a one-line-per-cell summary.
+func (e *CampaignError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign degraded: %d cell(s) failed", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %s/%s: %v", f.Workload, f.Mode, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (e *CampaignError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// Verbose renders the report with recovered panic stacks included.
+func (e *CampaignError) Verbose() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	for _, f := range e.Failures {
+		var pe *resilience.PanicError
+		if errors.As(f.Err, &pe) {
+			fmt.Fprintf(&b, "\n--- stack for %s/%s ---\n%s", f.Workload, f.Mode, pe.Stack)
+		}
+	}
+	return b.String()
+}
+
+// failureSet collects per-cell failures during figure extraction.
+type failureSet struct {
+	fails []*WorkloadError
+	seen  map[string]bool
+}
+
+func (f *failureSet) record(err error, name string, mode core.Mode) {
+	we := asWorkloadError(err, name, mode)
+	key := we.Workload + "|" + we.Mode.String()
+	if f.seen == nil {
+		f.seen = map[string]bool{}
+	}
+	if f.seen[key] {
+		return
+	}
+	f.seen[key] = true
+	f.fails = append(f.fails, we)
+}
+
+// absorb folds another campaign stage's error into the set, so a report
+// that runs many figures returns one combined *CampaignError.
+func (f *failureSet) absorb(err error) {
+	if err == nil {
+		return
+	}
+	var ce *CampaignError
+	if errors.As(err, &ce) {
+		for _, we := range ce.Failures {
+			f.record(we, we.Workload, we.Mode)
+		}
+		return
+	}
+	f.record(err, "(campaign)", 0)
+}
+
+// err returns nil for a clean campaign, else a deterministic-order
+// *CampaignError.
+func (f *failureSet) err() error { return campaignError(f.fails) }
+
+// campaignError wraps failures into a *CampaignError (nil when empty),
+// sorted by (workload, mode) so degraded campaigns report reproducibly
+// regardless of goroutine scheduling.
+func campaignError(fails []*WorkloadError) error {
+	if len(fails) == 0 {
+		return nil
+	}
+	sort.Slice(fails, func(i, j int) bool {
+		if fails[i].Workload != fails[j].Workload {
+			return fails[i].Workload < fails[j].Workload
+		}
+		return fails[i].Mode < fails[j].Mode
+	})
+	return &CampaignError{Failures: fails}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// Fingerprint identifies the simulation-relevant options of a campaign.
+// A checkpoint written under one fingerprint refuses to resume under
+// another: mixing cells from different machine configurations would
+// silently corrupt every figure. The workload subset, parallelism,
+// timeout, checkpoint and fault-injection settings are deliberately
+// excluded — they change which cells run, not what any cell computes.
+func Fingerprint(o Options) string {
+	key := struct {
+		Cores             int
+		VMs               int
+		WarmupRefs        int
+		MaxRefs           int
+		Seed              uint64
+		POMSizeBytes      uint64
+		POMWays           int
+		DisableBypass     bool
+		Virtualized       bool
+		CachePriority     cache.Priority
+		NeighborPrefetch  bool
+		UncalibratedWalks bool
+	}{
+		o.Cores, o.VMs, o.WarmupRefs, o.MaxRefs, o.Seed, o.POMSizeBytes,
+		o.POMWays, o.DisableBypass, o.Virtualized, o.CachePriority,
+		o.NeighborPrefetch, o.UncalibratedWalks,
+	}
+	b, err := json.Marshal(key)
+	if err != nil { // a struct of scalars cannot fail to marshal
+		panic(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// checkpointPayload is the on-disk JSON schema.
+type checkpointPayload struct {
+	Version     int                    `json:"version"`
+	Fingerprint string                 `json:"fingerprint"`
+	Cells       map[string]core.Result `json:"cells"`
+}
+
+// Checkpoint journals completed (workload, scheme) results to a JSON
+// file after each run, so an interrupted or partially-failed campaign
+// resumes from its last completed cell instead of from zero. All methods
+// are safe for concurrent use by the runner's workers; a nil *Checkpoint
+// is inert.
+type Checkpoint struct {
+	path string
+	mu   sync.Mutex
+	data checkpointPayload
+}
+
+// cellKey names one (workload, scheme) cell.
+func cellKey(name string, mode core.Mode) string { return name + "|" + mode.String() }
+
+// LoadCheckpoint opens (or initializes) the journal at path for a
+// campaign with the given options fingerprint. A missing file yields an
+// empty checkpoint; an existing file written under a different
+// fingerprint is an error.
+func LoadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	c := &Checkpoint{
+		path: path,
+		data: checkpointPayload{Version: 1, Fingerprint: fingerprint, Cells: map[string]core.Result{}},
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var p checkpointPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt journal: %w", path, err)
+	}
+	if p.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint %s was written by a campaign with different options; delete it or match the original flags", path)
+	}
+	if p.Cells == nil {
+		p.Cells = map[string]core.Result{}
+	}
+	c.data = p
+	return c, nil
+}
+
+// Path returns the journal's file path.
+func (c *Checkpoint) Path() string {
+	if c == nil {
+		return ""
+	}
+	return c.path
+}
+
+// Get returns the journaled result for a cell, if present.
+func (c *Checkpoint) Get(name string, mode core.Mode) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.data.Cells[cellKey(name, mode)]
+	return res, ok
+}
+
+// Len returns the number of journaled cells.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.data.Cells)
+}
+
+// Keys returns the journaled cell keys ("workload|scheme"), sorted.
+func (c *Checkpoint) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.data.Cells))
+	for k := range c.data.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Put journals one completed cell and persists the file atomically
+// (write-temp-then-rename), retrying transient filesystem errors with
+// backoff so a momentarily unavailable disk does not fail a finished
+// simulation.
+func (c *Checkpoint) Put(name string, mode core.Mode, res core.Result) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Cells[cellKey(name, mode)] = res
+	raw, err := json.MarshalIndent(c.data, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	policy := resilience.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.5, Seed: 1}
+	return resilience.Retry(context.Background(), policy, func(context.Context) error {
+		tmp := c.path + ".tmp"
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, c.path)
+	})
+}

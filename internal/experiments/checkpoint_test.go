@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := quick()
+	b := quick()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("identical options must fingerprint identically")
+	}
+	b.Seed = 99
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("changing the seed must change the fingerprint")
+	}
+	// The workload subset selects cells; it must not invalidate them.
+	c := quick()
+	c.Workloads = []string{"gups"}
+	if Fingerprint(a) != Fingerprint(c) {
+		t.Error("workload subset must not change the fingerprint")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	fp := Fingerprint(quick())
+	cp, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("fresh checkpoint has %d cells", cp.Len())
+	}
+	res := core.Result{Workload: "gups", Mode: core.POMTLB, Records: 123, PenaltyCycles: 456}
+	if err := cp.Put("gups", core.POMTLB, res); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := re.Get("gups", core.POMTLB)
+	if !ok {
+		t.Fatal("reloaded checkpoint lost the cell")
+	}
+	if got.Records != 123 || got.PenaltyCycles != 456 {
+		t.Errorf("reloaded cell corrupted: %+v", got)
+	}
+	if _, ok := re.Get("gups", core.Baseline); ok {
+		t.Error("cell present for a scheme that never ran")
+	}
+	if keys := re.Keys(); len(keys) != 1 || keys[0] != "gups|pom-tlb" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := LoadCheckpoint(path, "aaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put("gups", core.POMTLB, core.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadCheckpoint(path, "bbb")
+	if err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "different options") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestCheckpointNilSafe(t *testing.T) {
+	var cp *Checkpoint
+	if _, ok := cp.Get("x", core.POMTLB); ok {
+		t.Error("nil checkpoint returned a cell")
+	}
+	if err := cp.Put("x", core.POMTLB, core.Result{}); err != nil {
+		t.Error("nil Put must be a no-op")
+	}
+	if cp.Len() != 0 || cp.Keys() != nil || cp.Path() != "" {
+		t.Error("nil accessors must return zero values")
+	}
+}
+
+func TestRunnerServesCheckpointedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opts := quick()
+	cp, err := LoadCheckpoint(path, Fingerprint(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canned := core.Result{Workload: "gups", Mode: core.POMTLB, Records: 7}
+	if err := cp.Put("gups", core.POMTLB, canned); err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	r := NewRunner(opts)
+	got, err := r.Result("gups", core.POMTLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records != 7 {
+		t.Errorf("runner re-simulated a checkpointed cell: Records=%d", got.Records)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -11,26 +12,45 @@ import (
 // WriteCSVs runs the main figures and writes one CSV per figure into dir,
 // for plotting with external tools. Returns the written paths.
 func WriteCSVs(dir string, r *Runner) ([]string, error) {
+	return WriteCSVsContext(context.Background(), dir, r)
+}
+
+// WriteCSVsContext is WriteCSVs with cancellation and graceful
+// degradation. The directory is created if missing; each CSV lands via a
+// temp file and an atomic rename, so an error can never leave a
+// half-written CSV behind. Figures of a degraded campaign still produce
+// their partial CSVs; the combined *CampaignError is returned alongside
+// the paths that were written.
+func WriteCSVsContext(ctx context.Context, dir string, r *Runner) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	var fs failureSet
 	var written []string
 	write := func(name string, header []string, rows [][]string) error {
 		path := filepath.Join(dir, name)
-		f, err := os.Create(path)
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w := csv.NewWriter(f)
-		if err := w.Write(header); err != nil {
-			return err
+		err = w.Write(header)
+		if err == nil {
+			err = w.WriteAll(rows)
 		}
-		if err := w.WriteAll(rows); err != nil {
-			return err
+		if err == nil {
+			w.Flush()
+			err = w.Error()
 		}
-		w.Flush()
-		if err := w.Error(); err != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			os.Remove(tmp) // no partial file survives a failed write
 			return err
 		}
 		written = append(written, path)
@@ -38,10 +58,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 	}
 	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
-	f2, err := Figure2(r)
-	if err != nil {
-		return written, err
-	}
+	f2, err := Figure2Context(ctx, r)
+	fs.absorb(err)
 	rows := make([][]string, len(f2))
 	for i, row := range f2 {
 		rows[i] = []string{row.Name, ff(row.PaperCyc), ff(row.SimCyc), ff(row.MissRatio)}
@@ -61,10 +79,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	f8, sum, err := Figure8(r)
-	if err != nil {
-		return written, err
-	}
+	f8, sum, err := Figure8Context(ctx, r)
+	fs.absorb(err)
 	rows = rows[:0]
 	for _, row := range f8 {
 		rows = append(rows, []string{row.Name, ff(row.POM), ff(row.Shared), ff(row.TSB),
@@ -78,10 +94,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	f9, err := Figure9(r)
-	if err != nil {
-		return written, err
-	}
+	f9, err := Figure9Context(ctx, r)
+	fs.absorb(err)
 	rows = rows[:0]
 	for _, row := range f9 {
 		rows = append(rows, []string{row.Name, ff(row.L2D), ff(row.L3D), ff(row.POM), ff(row.WalkEl)})
@@ -91,10 +105,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	f10, err := Figure10(r)
-	if err != nil {
-		return written, err
-	}
+	f10, err := Figure10Context(ctx, r)
+	fs.absorb(err)
 	rows = rows[:0]
 	for _, row := range f10 {
 		rows = append(rows, []string{row.Name, ff(row.SizeAcc), ff(row.BypassAcc)})
@@ -104,10 +116,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	f11, err := Figure11(r)
-	if err != nil {
-		return written, err
-	}
+	f11, err := Figure11Context(ctx, r)
+	fs.absorb(err)
 	rows = rows[:0]
 	for _, row := range f11 {
 		rows = append(rows, []string{row.Name, ff(row.RBH), strconv.FormatUint(row.Accesses, 10)})
@@ -117,10 +127,8 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	f12, withAvg, noAvg, err := Figure12(r)
-	if err != nil {
-		return written, err
-	}
+	f12, withAvg, noAvg, err := Figure12Context(ctx, r)
+	fs.absorb(err)
 	rows = rows[:0]
 	for _, row := range f12 {
 		rows = append(rows, []string{row.Name, ff(row.WithCache), ff(row.NoCache)})
@@ -131,5 +139,5 @@ func WriteCSVs(dir string, r *Runner) ([]string, error) {
 		return written, err
 	}
 
-	return written, nil
+	return written, fs.err()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,6 +13,12 @@ import (
 	"repro/internal/tlb"
 	"repro/internal/workloads"
 )
+
+// Every FigureN has a FigureNContext variant. The Context variants degrade
+// gracefully: a failed (workload, scheme) cell drops only that figure row,
+// and the call returns the surviving rows together with a *CampaignError
+// listing exactly which cells are missing — so a cancelled or
+// partially-panicked campaign still yields every completed result.
 
 // Fig2Row is one bar of Figure 2: average translation cycles per L2 TLB
 // miss on the virtualized platform — the paper's measured value alongside
@@ -25,14 +32,21 @@ type Fig2Row struct {
 
 // Figure2 regenerates Figure 2.
 func Figure2(r *Runner) ([]Fig2Row, error) {
-	if err := r.Prefetch(r.names(), []core.Mode{core.Baseline}); err != nil {
-		return nil, err
-	}
+	return Figure2Context(context.Background(), r)
+}
+
+// Figure2Context is Figure2 with cancellation and graceful degradation.
+func Figure2Context(ctx context.Context, r *Runner) ([]Fig2Row, error) {
+	// Warm the grid concurrently; per-cell failures resurface from
+	// ResultContext below, where they are attributed row by row.
+	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
+	var fs failureSet
 	var rows []Fig2Row
 	for _, p := range r.workloads() {
-		res, err := r.Result(p.Name, core.Baseline)
+		res, err := r.ResultContext(ctx, p.Name, core.Baseline)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.Baseline)
+			continue
 		}
 		rows = append(rows, Fig2Row{
 			Name:      p.Name,
@@ -41,7 +55,7 @@ func Figure2(r *Runner) ([]Fig2Row, error) {
 			MissRatio: res.L2TLB.MissRatio(),
 		})
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // Fig3Row is one bar of Figure 3: the ratio of virtualized to native
@@ -55,24 +69,29 @@ type Fig3Row struct {
 // Figure3 regenerates Figure 3. It needs a second, native campaign, which
 // it derives from the runner's options.
 func Figure3(r *Runner) ([]Fig3Row, error) {
+	return Figure3Context(context.Background(), r)
+}
+
+// Figure3Context is Figure3 with cancellation and graceful degradation.
+func Figure3Context(ctx context.Context, r *Runner) ([]Fig3Row, error) {
 	nativeOpts := r.Options()
 	nativeOpts.Virtualized = false
+	nativeOpts.Checkpoint = nil // different fingerprint; never share the journal
 	nr := NewRunner(nativeOpts)
-	if err := r.Prefetch(r.names(), []core.Mode{core.Baseline}); err != nil {
-		return nil, err
-	}
-	if err := nr.Prefetch(r.names(), []core.Mode{core.Baseline}); err != nil {
-		return nil, err
-	}
+	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
+	_ = nr.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
+	var fs failureSet
 	var rows []Fig3Row
 	for _, p := range r.workloads() {
-		virt, err := r.Result(p.Name, core.Baseline)
+		virt, err := r.ResultContext(ctx, p.Name, core.Baseline)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.Baseline)
+			continue
 		}
-		nat, err := nr.Result(p.Name, core.Baseline)
+		nat, err := nr.ResultContext(ctx, p.Name, core.Baseline)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.Baseline)
+			continue
 		}
 		row := Fig3Row{Name: p.Name, PaperRatio: p.VirtOverNativeRatio()}
 		if nat.AvgPenalty() > 0 {
@@ -80,7 +99,7 @@ func Figure3(r *Runner) ([]Fig3Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // Figure4 regenerates Figure 4: normalized SRAM access latency vs
@@ -104,10 +123,16 @@ type Fig8Row struct {
 
 // Figure8 regenerates Figure 8 (the headline result).
 func Figure8(r *Runner) ([]Fig8Row, Fig8Summary, error) {
+	return Figure8Context(context.Background(), r)
+}
+
+// Figure8Context is Figure8 with cancellation and graceful degradation: a
+// workload whose cell fails under any of the three schemes is dropped
+// from both the rows and the geomeans, and reported in the error.
+func Figure8Context(ctx context.Context, r *Runner) ([]Fig8Row, Fig8Summary, error) {
 	modes := []core.Mode{core.POMTLB, core.SharedL2, core.TSB}
-	if err := r.Prefetch(r.names(), modes); err != nil {
-		return nil, Fig8Summary{}, err
-	}
+	_ = r.PrefetchContext(ctx, r.names(), modes)
+	var fs failureSet
 	var rows []Fig8Row
 	var pomS, shS, tsbS []float64
 	for _, p := range r.workloads() {
@@ -118,14 +143,19 @@ func Figure8(r *Runner) ([]Fig8Row, Fig8Summary, error) {
 			pen  *float64
 			sp   *[]float64
 		}
-		for _, sl := range []slot{
+		slots := []slot{
 			{core.POMTLB, &row.POM, &row.POMPen, &pomS},
 			{core.SharedL2, &row.Shared, &row.ShPen, &shS},
 			{core.TSB, &row.TSB, &row.TSBPen, &tsbS},
-		} {
-			res, err := r.Result(p.Name, sl.mode)
+		}
+		speedups := make([]float64, len(slots))
+		ok := true
+		for i, sl := range slots {
+			res, err := r.ResultContext(ctx, p.Name, sl.mode)
 			if err != nil {
-				return nil, Fig8Summary{}, err
+				fs.record(err, p.Name, sl.mode)
+				ok = false
+				continue
 			}
 			*sl.pen = res.AvgPenalty()
 			// The scheme cannot be worse than running every miss at the
@@ -139,10 +169,18 @@ func Figure8(r *Runner) ([]Fig8Row, Fig8Summary, error) {
 			}
 			imp, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p, pen))
 			if err != nil {
-				return nil, Fig8Summary{}, err
+				fs.record(err, p.Name, sl.mode)
+				ok = false
+				continue
 			}
 			*sl.imp = imp
-			*sl.sp = append(*sl.sp, 1+imp/100)
+			speedups[i] = 1 + imp/100
+		}
+		if !ok {
+			continue // keep the geomeans consistent with the rendered rows
+		}
+		for i, sl := range slots {
+			*sl.sp = append(*sl.sp, speedups[i])
 		}
 		rows = append(rows, row)
 	}
@@ -151,7 +189,7 @@ func Figure8(r *Runner) ([]Fig8Row, Fig8Summary, error) {
 		SharedGeomeanPct: perfmodel.GeomeanImprovementPct(shS),
 		TSBGeomeanPct:    perfmodel.GeomeanImprovementPct(tsbS),
 	}
-	return rows, sum, nil
+	return rows, sum, fs.err()
 }
 
 // Fig8Summary carries Figure 8's averages (paper: POM 9.57%, Shared_L2
@@ -174,14 +212,19 @@ type Fig9Row struct {
 
 // Figure9 regenerates Figure 9.
 func Figure9(r *Runner) ([]Fig9Row, error) {
-	if err := r.Prefetch(r.names(), []core.Mode{core.POMTLB}); err != nil {
-		return nil, err
-	}
+	return Figure9Context(context.Background(), r)
+}
+
+// Figure9Context is Figure9 with cancellation and graceful degradation.
+func Figure9Context(ctx context.Context, r *Runner) ([]Fig9Row, error) {
+	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	var fs failureSet
 	var rows []Fig9Row
 	for _, p := range r.workloads() {
-		res, err := r.Result(p.Name, core.POMTLB)
+		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.POMTLB)
+			continue
 		}
 		rows = append(rows, Fig9Row{
 			Name:   p.Name,
@@ -191,7 +234,7 @@ func Figure9(r *Runner) ([]Fig9Row, error) {
 			WalkEl: res.WalkEliminationRate(),
 		})
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // Fig10Row is one workload of Figure 10: predictor accuracies.
@@ -205,14 +248,19 @@ type Fig10Row struct {
 
 // Figure10 regenerates Figure 10.
 func Figure10(r *Runner) ([]Fig10Row, error) {
-	if err := r.Prefetch(r.names(), []core.Mode{core.POMTLB}); err != nil {
-		return nil, err
-	}
+	return Figure10Context(context.Background(), r)
+}
+
+// Figure10Context is Figure10 with cancellation and graceful degradation.
+func Figure10Context(ctx context.Context, r *Runner) ([]Fig10Row, error) {
+	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	var fs failureSet
 	var rows []Fig10Row
 	for _, p := range r.workloads() {
-		res, err := r.Result(p.Name, core.POMTLB)
+		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.POMTLB)
+			continue
 		}
 		rows = append(rows, Fig10Row{
 			Name:      p.Name,
@@ -222,7 +270,7 @@ func Figure10(r *Runner) ([]Fig10Row, error) {
 			BypassTot: res.BypassPred.Total(),
 		})
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // Fig11Row is one workload of Figure 11: POM-TLB row-buffer hit rate.
@@ -234,14 +282,19 @@ type Fig11Row struct {
 
 // Figure11 regenerates Figure 11.
 func Figure11(r *Runner) ([]Fig11Row, error) {
-	if err := r.Prefetch(r.names(), []core.Mode{core.POMTLB}); err != nil {
-		return nil, err
-	}
+	return Figure11Context(context.Background(), r)
+}
+
+// Figure11Context is Figure11 with cancellation and graceful degradation.
+func Figure11Context(ctx context.Context, r *Runner) ([]Fig11Row, error) {
+	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	var fs failureSet
 	var rows []Fig11Row
 	for _, p := range r.workloads() {
-		res, err := r.Result(p.Name, core.POMTLB)
+		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
 		if err != nil {
-			return nil, err
+			fs.record(err, p.Name, core.POMTLB)
+			continue
 		}
 		rows = append(rows, Fig11Row{
 			Name:     p.Name,
@@ -249,7 +302,7 @@ func Figure11(r *Runner) ([]Fig11Row, error) {
 			Accesses: res.POMDRAMStats.Accesses,
 		})
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // Fig12Row is one workload of Figure 12: improvement with and without
@@ -262,18 +315,26 @@ type Fig12Row struct {
 
 // Figure12 regenerates Figure 12.
 func Figure12(r *Runner) ([]Fig12Row, float64, float64, error) {
+	return Figure12Context(context.Background(), r)
+}
+
+// Figure12Context is Figure12 with cancellation and graceful degradation.
+func Figure12Context(ctx context.Context, r *Runner) ([]Fig12Row, float64, float64, error) {
 	modes := []core.Mode{core.POMTLB, core.POMTLBNoCache}
-	if err := r.Prefetch(r.names(), modes); err != nil {
-		return nil, 0, 0, err
-	}
+	_ = r.PrefetchContext(ctx, r.names(), modes)
+	var fs failureSet
 	var rows []Fig12Row
 	var with, without []float64
 	for _, p := range r.workloads() {
 		row := Fig12Row{Name: p.Name}
-		for _, m := range modes {
-			res, err := r.Result(p.Name, m)
+		var sp [2]float64
+		ok := true
+		for i, m := range modes {
+			res, err := r.ResultContext(ctx, p.Name, m)
 			if err != nil {
-				return nil, 0, 0, err
+				fs.record(err, p.Name, m)
+				ok = false
+				continue
 			}
 			pen := res.AvgPenalty()
 			if pen > p.CyclesPerMissVirt {
@@ -281,19 +342,25 @@ func Figure12(r *Runner) ([]Fig12Row, float64, float64, error) {
 			}
 			imp, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p, pen))
 			if err != nil {
-				return nil, 0, 0, err
+				fs.record(err, p.Name, m)
+				ok = false
+				continue
 			}
 			if m == core.POMTLB {
 				row.WithCache = imp
-				with = append(with, 1+imp/100)
 			} else {
 				row.NoCache = imp
-				without = append(without, 1+imp/100)
 			}
+			sp[i] = 1 + imp/100
 		}
+		if !ok {
+			continue
+		}
+		with = append(with, sp[0])
+		without = append(without, sp[1])
 		rows = append(rows, row)
 	}
-	return rows, perfmodel.GeomeanImprovementPct(with), perfmodel.GeomeanImprovementPct(without), nil
+	return rows, perfmodel.GeomeanImprovementPct(with), perfmodel.GeomeanImprovementPct(without), fs.err()
 }
 
 // Table1 renders the experimental parameters (Table 1) from the live

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,7 +11,18 @@ import (
 // Report runs the full campaign and writes a paper-vs-measured markdown
 // report — the contents of EXPERIMENTS.md.
 func Report(w io.Writer, opts Options, ablations bool) error {
+	return ReportContext(context.Background(), w, opts, ablations)
+}
+
+// ReportContext is Report with cancellation and graceful degradation:
+// every section renders whatever rows its campaign cells produced, a
+// trailing section lists any failed cells, and the combined
+// *CampaignError is returned (nil for a clean campaign). A cancelled or
+// partially-panicked campaign therefore still emits a readable report of
+// everything that completed.
+func ReportContext(ctx context.Context, w io.Writer, opts Options, ablations bool) error {
 	r := NewRunner(opts)
+	var fs failureSet
 	fmt.Fprintf(w, "# EXPERIMENTS — POM-TLB reproduction\n\n")
 	fmt.Fprintf(w, "Campaign: %d cores, %d VMs, %d warmup + %d measured references per run, seed %d.\n\n",
 		opts.Cores, max(opts.VMs, 1), opts.WarmupRefs, opts.MaxRefs, opts.Seed)
@@ -22,10 +34,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "## Table 2 — workloads\n\n```\n%s```\n\n", Table2())
 
 	// Figure 2.
-	f2, err := Figure2(r)
-	if err != nil {
-		return err
-	}
+	f2, err := Figure2Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 2 — translation cycles per L2 TLB miss (virtualized)\n\n")
 	t := stats.NewTable("Benchmark", "Paper (meas.)", "Simulated baseline", "L2TLB missR")
 	for _, row := range f2 {
@@ -35,10 +45,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 3.
-	f3, err := Figure3(r)
-	if err != nil {
-		return err
-	}
+	f3, err := Figure3Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 3 — virtualized / native translation cost ratio\n\n")
 	t = stats.NewTable("Benchmark", "Paper ratio", "Simulated ratio")
 	for _, row := range f3 {
@@ -59,10 +67,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 8.
-	f8, sum, err := Figure8(r)
-	if err != nil {
-		return err
-	}
+	f8, sum, err := Figure8Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 8 — performance improvement (%d core)\n\n", opts.Cores)
 	fmt.Fprintf(w, "Paper averages: POM-TLB 9.57%%, Shared_L2 6.10%%, TSB 4.27%%.\n")
 	fmt.Fprintf(w, "Measured averages: POM-TLB %.2f%%, Shared_L2 %.2f%%, TSB %.2f%%.\n\n",
@@ -77,10 +83,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 9.
-	f9, err := Figure9(r)
-	if err != nil {
-		return err
-	}
+	f9, err := Figure9Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 9 — POM-TLB entry hit ratios per level\n\n")
 	fmt.Fprintf(w, "Paper averages: L2D$ ≈ 89.7%%, POM-TLB ≈ 88%%.\n\n")
 	t = stats.NewTable("Benchmark", "L2D$", "L3D$", "POM-TLB", "WalkElim")
@@ -94,10 +98,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 10.
-	f10, err := Figure10(r)
-	if err != nil {
-		return err
-	}
+	f10, err := Figure10Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 10 — predictor accuracy\n\n")
 	fmt.Fprintf(w, "Paper averages: size ≈ 95%%, bypass ≈ 45.8%%.\n\n")
 	t = stats.NewTable("Benchmark", "Size acc", "Bypass acc")
@@ -111,10 +113,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 11.
-	f11, err := Figure11(r)
-	if err != nil {
-		return err
-	}
+	f11, err := Figure11Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 11 — POM-TLB row-buffer hit rate\n\n")
 	fmt.Fprintf(w, "Paper average: ≈ 71%% (spatially local workloads high, gups low).\n\n")
 	t = stats.NewTable("Benchmark", "RBH", "DRAM accesses")
@@ -127,10 +127,8 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
 	// Figure 12.
-	f12, withAvg, noAvg, err := Figure12(r)
-	if err != nil {
-		return err
-	}
+	f12, withAvg, noAvg, err := Figure12Context(ctx, r)
+	fs.absorb(err)
 	fmt.Fprintf(w, "## Figure 12 — with vs without data caching of TLB entries\n\n")
 	fmt.Fprintf(w, "Paper: caching adds ≈ 5%% on average. Measured: %.2f%% vs %.2f%%.\n\n", withAvg, noAvg)
 	t = stats.NewTable("Benchmark", "With caching %", "Without %")
@@ -139,89 +137,74 @@ func Report(w io.Writer, opts Options, ablations bool) error {
 	}
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
-	if !ablations {
-		return nil
-	}
-
-	writeAbl := func(title, paperNote string, pts []AblationPoint) {
-		fmt.Fprintf(w, "## %s\n\n%s\n\n", title, paperNote)
-		t := stats.NewTable("Point", "Improvement %", "P_avg", "WalkElim")
-		for _, p := range pts {
-			t.AddRow(p.Label, fmt.Sprintf("%.2f", p.MeanImprovementPct),
-				fmt.Sprintf("%.1f", p.MeanPenalty), stats.Pct(p.WalkElimination))
+	if ablations {
+		writeAbl := func(title, paperNote string, pts []AblationPoint) {
+			fmt.Fprintf(w, "## %s\n\n%s\n\n", title, paperNote)
+			t := stats.NewTable("Point", "Improvement %", "P_avg", "WalkElim")
+			for _, p := range pts {
+				t.AddRow(p.Label, fmt.Sprintf("%.2f", p.MeanImprovementPct),
+					fmt.Sprintf("%.1f", p.MeanPenalty), stats.Pct(p.WalkElimination))
+			}
+			fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 		}
-		fmt.Fprintf(w, "```\n%s```\n\n", t.String())
+
+		cap, err := AblationCapacityContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("Ablation §4.6a — POM-TLB capacity", "Paper: 8/16/32 MB changes results < 1%.", cap)
+
+		cores, err := AblationCoresContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("Ablation §4.6b — core count", "Paper: 4–32 cores leave the improvement ≈ unchanged.", cores)
+
+		assoc, err := AblationAssociativityContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("Ablation — associativity", "Paper: < 4 ways causes significantly more conflict misses.", assoc)
+
+		byp, err := AblationBypassContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("Ablation — bypass predictor", "Bypass predictor vs always probing the caches.", byp)
+
+		aware, err := AblationTLBAwareCachingContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("§5.1 — TLB-aware caching", "Replacement priority for POM-TLB entries vs data in L2/L3.", aware)
+
+		pref, err := AblationNeighborPrefetchContext(ctx, opts)
+		fs.absorb(err)
+		writeAbl("§6 — burst-neighbour prefetch", "Install the fetched set's other translations into the L2 TLB.", pref)
+
+		mvm, err := MultiVMStudyContext(ctx, opts, []int{1, 2, 4})
+		fs.absorb(err)
+		writeAbl("§5.2 — multiple VMs sharing the POM-TLB", "The large TLB retains several VMs' translations at once.", mvm)
+
+		trade, err := TradeoffStudyContext(ctx, opts)
+		fs.absorb(err)
+		fmt.Fprintf(w, "## §2.2 — same capacity as L4 data cache vs L3 TLB\n\n")
+		fmt.Fprintf(w, "Fully-simulated totals (no measured-baseline mixing).\n\n")
+		tt := stats.NewTable("Benchmark", "L4-cache speedup %", "POM-TLB speedup %")
+		for _, row := range trade {
+			tt.AddRow(row.Name, fmt.Sprintf("%.2f", row.L4SpeedupPct), fmt.Sprintf("%.2f", row.POMSpeedupPct))
+		}
+		fmt.Fprintf(w, "```\n%s```\n\n", tt.String())
+
+		native, err := NativeStudyContext(ctx, opts)
+		fs.absorb(err)
+		fmt.Fprintf(w, "## Native execution — POM-TLB without virtualization\n\n")
+		fmt.Fprintf(w, "The paper's introduction: up to 14%% of native execution goes to\n")
+		fmt.Fprintf(w, "translation, so the scheme helps bare metal too.\n\n")
+		nt := stats.NewTable("Benchmark", "Improvement %", "P_pom", "P_base(native)")
+		for _, row := range native {
+			nt.AddRow(row.Name, fmt.Sprintf("%.2f", row.ImprovementPct),
+				fmt.Sprintf("%.0f", row.Penalty), fmt.Sprintf("%.0f", row.BasePen))
+		}
+		fmt.Fprintf(w, "```\n%s```\n\n", nt.String())
+
+		fmt.Fprint(w, fidelityNotes)
 	}
 
-	cap, err := AblationCapacity(opts)
-	if err != nil {
+	if err := fs.err(); err != nil {
+		fmt.Fprintf(w, "\n## Degraded cells\n\nThis campaign did not complete cleanly; the tables above omit the\nfollowing (workload, scheme) cells:\n\n```\n%v\n```\n", err)
 		return err
 	}
-	writeAbl("Ablation §4.6a — POM-TLB capacity", "Paper: 8/16/32 MB changes results < 1%.", cap)
-
-	cores, err := AblationCores(opts)
-	if err != nil {
-		return err
-	}
-	writeAbl("Ablation §4.6b — core count", "Paper: 4–32 cores leave the improvement ≈ unchanged.", cores)
-
-	assoc, err := AblationAssociativity(opts)
-	if err != nil {
-		return err
-	}
-	writeAbl("Ablation — associativity", "Paper: < 4 ways causes significantly more conflict misses.", assoc)
-
-	byp, err := AblationBypass(opts)
-	if err != nil {
-		return err
-	}
-	writeAbl("Ablation — bypass predictor", "Bypass predictor vs always probing the caches.", byp)
-
-	aware, err := AblationTLBAwareCaching(opts)
-	if err != nil {
-		return err
-	}
-	writeAbl("§5.1 — TLB-aware caching", "Replacement priority for POM-TLB entries vs data in L2/L3.", aware)
-
-	pref, err := AblationNeighborPrefetch(opts)
-	if err != nil {
-		return err
-	}
-	writeAbl("§6 — burst-neighbour prefetch", "Install the fetched set's other translations into the L2 TLB.", pref)
-
-	mvm, err := MultiVMStudy(opts, []int{1, 2, 4})
-	if err != nil {
-		return err
-	}
-	writeAbl("§5.2 — multiple VMs sharing the POM-TLB", "The large TLB retains several VMs' translations at once.", mvm)
-
-	trade, err := TradeoffStudy(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "## §2.2 — same capacity as L4 data cache vs L3 TLB\n\n")
-	fmt.Fprintf(w, "Fully-simulated totals (no measured-baseline mixing).\n\n")
-	tt := stats.NewTable("Benchmark", "L4-cache speedup %", "POM-TLB speedup %")
-	for _, row := range trade {
-		tt.AddRow(row.Name, fmt.Sprintf("%.2f", row.L4SpeedupPct), fmt.Sprintf("%.2f", row.POMSpeedupPct))
-	}
-	fmt.Fprintf(w, "```\n%s```\n\n", tt.String())
-
-	native, err := NativeStudy(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "## Native execution — POM-TLB without virtualization\n\n")
-	fmt.Fprintf(w, "The paper's introduction: up to 14%% of native execution goes to\n")
-	fmt.Fprintf(w, "translation, so the scheme helps bare metal too.\n\n")
-	nt := stats.NewTable("Benchmark", "Improvement %", "P_pom", "P_base(native)")
-	for _, row := range native {
-		nt.AddRow(row.Name, fmt.Sprintf("%.2f", row.ImprovementPct),
-			fmt.Sprintf("%.0f", row.Penalty), fmt.Sprintf("%.0f", row.BasePen))
-	}
-	fmt.Fprintf(w, "```\n%s```\n\n", nt.String())
-
-	fmt.Fprint(w, fidelityNotes)
 	return nil
 }
 

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
+)
+
+// TestCampaignSurvivesWorkerPanic is the headline acceptance test: a
+// worker that panics mid-campaign must cost exactly its own cell — every
+// other workload's row survives, and the error names the failed
+// (workload, scheme) pair with the recovered panic attached.
+func TestCampaignSurvivesWorkerPanic(t *testing.T) {
+	opts := quick()
+	opts.Faults = faultinject.NewSchedule()
+	opts.Faults.PanicOn(faultinject.WorkerSite("gups", core.POMTLB.String()), 1)
+	r := NewRunner(opts)
+
+	rows, err := Figure9Context(context.Background(), r)
+	if err == nil {
+		t.Fatal("panicked worker produced no campaign error")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 surviving rows, got %d: %+v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row.Name == "gups" {
+			t.Error("the panicked cell must not produce a row")
+		}
+	}
+
+	var ce *CampaignError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CampaignError", err)
+	}
+	if len(ce.Failures) != 1 {
+		t.Fatalf("want 1 failure, got %d: %v", len(ce.Failures), ce)
+	}
+	f := ce.Failures[0]
+	if f.Workload != "gups" || f.Mode != core.POMTLB {
+		t.Errorf("failure names %s/%s, want gups/pom-tlb", f.Workload, f.Mode)
+	}
+	var pe *resilience.PanicError
+	if !errors.As(f.Err, &pe) {
+		t.Fatalf("failure cause is %T, want *resilience.PanicError", f.Err)
+	}
+	if !strings.Contains(ce.Verbose(), "stack for gups/pom-tlb") {
+		t.Error("Verbose() missing the recovered stack")
+	}
+}
+
+// TestResumeCompletesOnlyMissingCell proves the checkpoint/resume loop: a
+// campaign degraded by one panicked worker journals every completed cell,
+// and a resumed campaign re-simulates only the cell that is missing.
+func TestResumeCompletesOnlyMissingCell(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opts := quick()
+	fp := Fingerprint(opts)
+
+	// First campaign: gups/pom-tlb panics, the other two cells complete.
+	cp, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	opts.Faults = faultinject.NewSchedule()
+	opts.Faults.PanicOn(faultinject.WorkerSite("gups", core.POMTLB.String()), 1)
+	if _, err := Figure9Context(context.Background(), NewRunner(opts)); err == nil {
+		t.Fatal("first campaign should be degraded")
+	}
+	if cp.Len() != 2 {
+		t.Fatalf("checkpoint holds %d cells after the degraded run, want 2 (%v)", cp.Len(), cp.Keys())
+	}
+
+	// Resumed campaign: a fresh fault-free schedule counts which workers
+	// actually simulate. Checkpointed cells are served before the worker
+	// site fires, so only the missing cell may hit it.
+	cp2, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := quick()
+	opts2.Checkpoint = cp2
+	opts2.Faults = faultinject.NewSchedule() // empty: pure hit counting
+	rows, err := Figure9Context(context.Background(), NewRunner(opts2))
+	if err != nil {
+		t.Fatalf("resumed campaign failed: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("resumed campaign produced %d rows, want 3", len(rows))
+	}
+	for _, name := range []string{"streamcluster", "mcf"} {
+		site := faultinject.WorkerSite(name, core.POMTLB.String())
+		if n := opts2.Faults.Hits(site); n != 0 {
+			t.Errorf("%s re-simulated %d time(s) despite being checkpointed", name, n)
+		}
+	}
+	if n := opts2.Faults.Hits(faultinject.WorkerSite("gups", core.POMTLB.String())); n != 1 {
+		t.Errorf("missing cell gups simulated %d time(s), want exactly 1", n)
+	}
+	if cp2.Len() != 3 {
+		t.Errorf("checkpoint holds %d cells after resume, want 3", cp2.Len())
+	}
+}
+
+// TestMidCampaignCancellation cancels after the first workload completes:
+// the finished cell survives (result and checkpoint), the remaining cells
+// fail with context.Canceled, and no worker goroutines leak.
+func TestMidCampaignCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opts := quick()
+	opts.Parallel = 1
+	cp, err := LoadCheckpoint(path, Fingerprint(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	r := NewRunner(opts)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := r.ResultContext(ctx, "streamcluster", core.POMTLB); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	err = r.PrefetchContext(ctx, []string{"streamcluster", "gups", "mcf"}, []core.Mode{core.POMTLB})
+	var ce *CampaignError
+	if !errors.As(err, &ce) {
+		t.Fatalf("cancelled campaign returned %T, want *CampaignError", err)
+	}
+	if len(ce.Failures) != 2 {
+		t.Fatalf("want 2 cancelled cells, got %d: %v", len(ce.Failures), ce)
+	}
+	for _, f := range ce.Failures {
+		if f.Workload == "streamcluster" {
+			t.Error("the completed cell must not be reported as failed")
+		}
+		if !errors.Is(f, context.Canceled) {
+			t.Errorf("%s/%s failed with %v, want context.Canceled", f.Workload, f.Mode, f.Err)
+		}
+	}
+
+	// The completed cell is still served (memoized) after cancellation.
+	if _, err := r.ResultContext(context.Background(), "streamcluster", core.POMTLB); err != nil {
+		t.Errorf("completed cell lost after cancellation: %v", err)
+	}
+	// The checkpoint holds exactly the finished cell.
+	if keys := cp.Keys(); len(keys) != 1 || keys[0] != "streamcluster|pom-tlb" {
+		t.Errorf("checkpoint cells = %v, want exactly [streamcluster|pom-tlb]", keys)
+	}
+	// PrefetchContext waits for its workers, so the goroutine count must
+	// settle back to the baseline (small grace for runtime bookkeeping).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestDRAMFaultRecovered injects a failure at the DRAM access seam — deep
+// inside the memory substrate, far below the campaign runner — and checks
+// it surfaces as a structured, errors.Is-able workload failure.
+func TestDRAMFaultRecovered(t *testing.T) {
+	sentinel := errors.New("injected DRAM failure")
+	opts := quick()
+	opts.Workloads = []string{"gups"}
+	opts.Faults = faultinject.NewSchedule()
+	opts.Faults.ErrorOn(faultinject.DRAMSite, sentinel, 1)
+	r := NewRunner(opts)
+
+	_, err := r.ResultContext(context.Background(), "gups", core.POMTLB)
+	if err == nil {
+		t.Fatal("injected DRAM fault did not fail the cell")
+	}
+	var we *WorkloadError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is %T, want *WorkloadError", err)
+	}
+	// The hook has no error path, so the fault travels as a panic; the
+	// recovery chain must still expose the original sentinel.
+	if !errors.Is(err, sentinel) {
+		t.Errorf("sentinel lost through the recovery chain: %v", err)
+	}
+}
+
+// TestTraceCorruptionSeamFires proves the trace-record seam is wired into
+// real campaigns: a corruption fault neither crashes nor errors the run,
+// and the hit counter confirms the wrapper saw every generated record.
+func TestTraceCorruptionSeamFires(t *testing.T) {
+	opts := quick()
+	opts.Workloads = []string{"gups"}
+	opts.Faults = faultinject.NewSchedule()
+	opts.Faults.CorruptOn(faultinject.TraceSite, 5)
+	r := NewRunner(opts)
+
+	if _, err := r.ResultContext(context.Background(), "gups", core.POMTLB); err != nil {
+		t.Fatalf("corrupted record must not fail the run: %v", err)
+	}
+	want := uint64(opts.WarmupRefs + opts.MaxRefs)
+	if n := opts.Faults.Hits(faultinject.TraceSite); n < want {
+		t.Errorf("trace seam fired %d times, want at least %d", n, want)
+	}
+}
+
+// TestWorkloadTimeout enforces the per-job deadline: a cell that exceeds
+// Options.WorkloadTimeout fails with context.DeadlineExceeded while
+// remaining addressable as a structured workload error.
+func TestWorkloadTimeout(t *testing.T) {
+	opts := quick()
+	opts.Workloads = []string{"mcf"}
+	opts.WorkloadTimeout = time.Nanosecond
+	r := NewRunner(opts)
+
+	_, err := r.ResultContext(context.Background(), "mcf", core.POMTLB)
+	if err == nil {
+		t.Fatal("1ns deadline did not fail the cell")
+	}
+	var we *WorkloadError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is %T, want *WorkloadError", err)
+	}
+	if we.Workload != "mcf" || we.Mode != core.POMTLB {
+		t.Errorf("failure names %s/%s, want mcf/pom-tlb", we.Workload, we.Mode)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want context.DeadlineExceeded in the chain, got %v", err)
+	}
+}

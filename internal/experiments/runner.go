@@ -3,15 +3,27 @@
 // workload suite under each translation scheme, feeds the simulated
 // penalties into the linear performance model, and formats the same rows
 // and series the paper reports.
+//
+// Campaigns are resilient: every (workload, scheme) cell is an
+// independently failable job. Worker panics are recovered into structured
+// *WorkloadError values, cells honor per-workload timeouts and campaign
+// cancellation, completed cells are journaled to an optional Checkpoint,
+// and the figure layer returns partial results plus a *CampaignError
+// instead of crashing — one degenerate workload degrades a multi-hour
+// sweep instead of destroying it.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/workloads"
 )
 
@@ -50,6 +62,21 @@ type Options struct {
 	// workload's measured baseline penalty (Table 2), the way the paper
 	// combines hardware measurement with scheme simulation (§3.3).
 	UncalibratedWalks bool
+
+	// WorkloadTimeout bounds each (workload, scheme) simulation; a cell
+	// that exceeds it fails with context.DeadlineExceeded while the rest
+	// of the campaign continues (0 = no per-job deadline).
+	WorkloadTimeout time.Duration
+	// Checkpoint, when non-nil, journals completed cells after each run
+	// and serves already-journaled cells without re-simulating — the
+	// -resume path of cmd/experiments.
+	Checkpoint *Checkpoint
+	// Faults is the deterministic fault-injection plan (nil in
+	// production). The runner fires faultinject.WorkerSite(workload,
+	// scheme) once per simulation job, wires faultinject.DRAMSite into
+	// both DRAM substrates, and wraps trace generators for
+	// faultinject.TraceSite record corruption.
+	Faults *faultinject.Schedule
 }
 
 // DefaultOptions returns the paper's 8-core virtualized campaign at a
@@ -99,6 +126,11 @@ func (o Options) config(mode core.Mode) core.Config {
 	cfg.DisableBypassPredictor = o.DisableBypass
 	cfg.CachePriority = o.CachePriority
 	cfg.NeighborPrefetch = o.NeighborPrefetch
+	if o.Faults != nil {
+		hook := o.Faults.Hook(faultinject.DRAMSite)
+		cfg.DDR.FaultHook = hook
+		cfg.POM.DRAM.FaultHook = hook
+	}
 	return cfg
 }
 
@@ -143,6 +175,17 @@ func (r *Runner) Options() Options { return r.opts }
 // Result simulates (or returns the memoized result of) one workload under
 // one scheme.
 func (r *Runner) Result(name string, mode core.Mode) (core.Result, error) {
+	return r.ResultContext(context.Background(), name, mode)
+}
+
+// ResultContext is Result with campaign cancellation and the full
+// resilience path: checkpointed cells are served without re-simulating;
+// fresh cells run under the per-workload timeout with panic recovery, and
+// failures come back as structured *WorkloadError values.
+func (r *Runner) ResultContext(ctx context.Context, name string, mode core.Mode) (core.Result, error) {
+	if res, ok := r.opts.Checkpoint.Get(name, mode); ok {
+		return res, nil
+	}
 	key := runKey{name, mode}
 	r.mu.Lock()
 	c, ok := r.cells[key]
@@ -152,33 +195,59 @@ func (r *Runner) Result(name string, mode core.Mode) (core.Result, error) {
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		c.res, c.err = r.simulate(name, mode)
+		c.res, c.err = r.simulate(ctx, name, mode)
+		if c.err == nil {
+			if err := r.opts.Checkpoint.Put(name, mode, c.res); err != nil {
+				c.err = &WorkloadError{Workload: name, Mode: mode, Err: err}
+			}
+		}
 	})
 	return c.res, c.err
 }
 
-func (r *Runner) simulate(name string, mode core.Mode) (core.Result, error) {
-	r.sem <- struct{}{}
+// simulate runs one (workload, scheme) job under the resilience
+// envelope: semaphore admission is abortable, the job runs under the
+// per-workload deadline, and panics anywhere in the simulation stack —
+// substrate constructors, trace generation, the core loop — are
+// recovered into the returned *WorkloadError.
+func (r *Runner) simulate(ctx context.Context, name string, mode core.Mode) (core.Result, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return core.Result{}, &WorkloadError{Workload: name, Mode: mode, Err: ctx.Err()}
+	}
 	defer func() { <-r.sem }()
 
-	p, ok := workloads.ByName(name)
-	if !ok {
-		return core.Result{}, fmt.Errorf("experiments: unknown workload %q", name)
-	}
-	cfg := r.opts.config(mode)
-	if mode != core.Baseline && !r.opts.UncalibratedWalks {
-		// Charge scheme-run walks at the measured baseline cost (§3.3).
-		pen := p.CyclesPerMissVirt
-		if !r.opts.Virtualized {
-			pen = p.CyclesPerMissNative
+	var res core.Result
+	err := resilience.RunWithTimeout(ctx, r.opts.WorkloadTimeout, func(ctx context.Context) error {
+		if err := r.opts.Faults.Fire(faultinject.WorkerSite(name, mode.String())); err != nil {
+			return err
 		}
-		cfg.WalkPenaltyOverride = uint64(pen)
-	}
-	sys, err := core.NewSystem(cfg)
+		p, ok := workloads.ByName(name)
+		if !ok {
+			return resilience.Permanent(fmt.Errorf("experiments: unknown workload %q", name))
+		}
+		cfg := r.opts.config(mode)
+		if mode != core.Baseline && !r.opts.UncalibratedWalks {
+			// Charge scheme-run walks at the measured baseline cost (§3.3).
+			pen := p.CyclesPerMissVirt
+			if !r.opts.Virtualized {
+				pen = p.CyclesPerMissNative
+			}
+			cfg.WalkPenaltyOverride = uint64(pen)
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		gen := faultinject.Wrap(p.Generator(r.opts.Cores, r.opts.Seed), r.opts.Faults)
+		res, err = sys.RunContext(ctx, gen, name)
+		return err
+	})
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, asWorkloadError(err, name, mode)
 	}
-	return sys.Run(p.Generator(r.opts.Cores, r.opts.Seed), name)
+	return res, nil
 }
 
 // workloads returns the campaign's benchmark profiles (the Options subset,
@@ -209,20 +278,30 @@ func (r *Runner) names() []string {
 // Prefetch runs the given (workload × mode) grid concurrently so later
 // figure extraction is instant.
 func (r *Runner) Prefetch(names []string, modes []core.Mode) error {
+	return r.PrefetchContext(context.Background(), names, modes)
+}
+
+// PrefetchContext runs the grid concurrently under ctx, waiting for every
+// cell. Unlike a fail-fast errgroup, it always drains the whole grid —
+// one failed cell must not abandon the others' in-flight work — and
+// aggregates every failure into a *CampaignError (nil when clean).
+func (r *Runner) PrefetchContext(ctx context.Context, names []string, modes []core.Mode) error {
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(names)*len(modes))
+	var mu sync.Mutex
+	var fails []*WorkloadError
 	for _, n := range names {
 		for _, m := range modes {
 			wg.Add(1)
 			go func(n string, m core.Mode) {
 				defer wg.Done()
-				if _, err := r.Result(n, m); err != nil {
-					errCh <- err
+				if _, err := r.ResultContext(ctx, n, m); err != nil {
+					mu.Lock()
+					fails = append(fails, asWorkloadError(err, n, m))
+					mu.Unlock()
 				}
 			}(n, m)
 		}
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh // nil if empty
+	return campaignError(fails)
 }

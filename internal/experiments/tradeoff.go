@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/perfmodel"
 	"repro/internal/workloads"
@@ -27,22 +29,35 @@ var tradeoffWorkloads = []string{"mcf", "gups", "lbm", "soplex"}
 // more than a data hit: an L3 TLB hit removes a blocking multi-reference
 // walk, while an L4 data hit removes one overlappable memory access.
 func TradeoffStudy(base Options) ([]TradeoffRow, error) {
+	return TradeoffStudyContext(context.Background(), base)
+}
+
+// TradeoffStudyContext is TradeoffStudy with cancellation and graceful
+// degradation: a workload missing any of its three machines is dropped
+// and reported through the returned *CampaignError.
+func TradeoffStudyContext(ctx context.Context, base Options) ([]TradeoffRow, error) {
 	opts := base
 	opts.UncalibratedWalks = true // all three machines fully simulated
+	opts.Checkpoint = nil         // different fingerprint; never share the journal
 	r := NewRunner(opts)
 	modes := []core.Mode{core.Baseline, core.L4Cache, core.POMTLB}
-	if err := r.Prefetch(tradeoffWorkloads, modes); err != nil {
-		return nil, err
-	}
+	_ = r.PrefetchContext(ctx, tradeoffWorkloads, modes)
+	var fs failureSet
 	var rows []TradeoffRow
 	for _, name := range tradeoffWorkloads {
 		var cyc [3]uint64
+		ok := true
 		for i, m := range modes {
-			res, err := r.Result(name, m)
+			res, err := r.ResultContext(ctx, name, m)
 			if err != nil {
-				return nil, err
+				fs.record(err, name, m)
+				ok = false
+				continue
 			}
 			cyc[i] = res.Cycles
+		}
+		if !ok {
+			continue
 		}
 		row := TradeoffRow{Name: name, CyclesBase: cyc[0], CyclesL4: cyc[1], CyclesPOM: cyc[2]}
 		if cyc[1] > 0 {
@@ -53,7 +68,7 @@ func TradeoffStudy(base Options) ([]TradeoffRow, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, fs.err()
 }
 
 // NativeRow is one workload of the native-execution study: the paper's
@@ -76,17 +91,24 @@ var nativeWorkloads = []string{"astar", "GemsFDTD", "gups", "mcf", "soplex", "pa
 // NativeStudy runs the POM-TLB under bare-metal (1D-walk) translation and
 // models the improvement against the measured native baselines.
 func NativeStudy(base Options) ([]NativeRow, error) {
+	return NativeStudyContext(context.Background(), base)
+}
+
+// NativeStudyContext is NativeStudy with cancellation and graceful
+// degradation.
+func NativeStudyContext(ctx context.Context, base Options) ([]NativeRow, error) {
 	opts := base
 	opts.Virtualized = false
+	opts.Checkpoint = nil // different fingerprint; never share the journal
 	r := NewRunner(opts)
-	if err := r.Prefetch(nativeWorkloads, []core.Mode{core.POMTLB}); err != nil {
-		return nil, err
-	}
+	_ = r.PrefetchContext(ctx, nativeWorkloads, []core.Mode{core.POMTLB})
+	var fs failureSet
 	var rows []NativeRow
 	for _, name := range nativeWorkloads {
-		res, err := r.Result(name, core.POMTLB)
+		res, err := r.ResultContext(ctx, name, core.POMTLB)
 		if err != nil {
-			return nil, err
+			fs.record(err, name, core.POMTLB)
+			continue
 		}
 		p, _ := workloads.ByName(name)
 		pen := res.AvgPenalty()
@@ -96,10 +118,11 @@ func NativeStudy(base Options) ([]NativeRow, error) {
 		}
 		imp, err := perfmodel.ImprovementPct(perfmodel.FromProfileNative(p, pen))
 		if err != nil {
-			return nil, err
+			fs.record(err, name, core.POMTLB)
+			continue
 		}
 		row.ImprovementPct = imp
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, fs.err()
 }

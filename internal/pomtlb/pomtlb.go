@@ -320,7 +320,7 @@ func New(cfg Config) *TLB {
 		cfg:     cfg,
 		Small:   small,
 		Large:   large,
-		channel: dram.New(cfg.DRAM),
+		channel: dram.MustNew(cfg.DRAM),
 	}
 }
 

@@ -1,0 +1,226 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// simulation pipeline. Tests (and chaos campaigns) schedule faults at
+// named sites — "panic the gups/pom-tlb worker on its first run", "fail
+// the 1000th DRAM access", "corrupt every 64th trace record" — and the
+// schedule fires them reproducibly, so every recovery path in the
+// resilience layer can be proven to actually fire.
+//
+// A Schedule counts hits per site; faults are keyed by (site, 1-based hit
+// number). Sites are plain strings: the campaign runner fires
+// WorkerSite(workload, scheme) once per simulation, the DRAM channels
+// fire their configured hook once per access, and the Generator wrapper
+// fires once per trace record.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// Kind is the effect a scheduled fault has when it fires.
+type Kind uint8
+
+const (
+	// Panic aborts the worker the way a real bug would.
+	Panic Kind = iota
+	// Error returns a structured error from Fire (sites threaded through
+	// error-returning paths).
+	Error
+	// Corrupt deterministically mutates the in-flight trace record
+	// (Generator sites only; elsewhere it is a no-op).
+	Corrupt
+	// Call invokes a callback — used by tests to cancel contexts or
+	// observe ordering at an exact point in a campaign.
+	Call
+)
+
+// fault is one scheduled effect.
+type fault struct {
+	kind Kind
+	err  error
+	call func()
+}
+
+// Schedule is a deterministic fault plan. The zero value is unusable;
+// create with NewSchedule. A nil *Schedule is inert: every method is safe
+// to call and fires nothing, so production paths can thread one
+// unconditionally.
+type Schedule struct {
+	mu     sync.Mutex
+	hits   map[string]uint64
+	faults map[string]map[uint64]fault
+}
+
+// NewSchedule creates an empty fault plan.
+func NewSchedule() *Schedule {
+	return &Schedule{hits: map[string]uint64{}, faults: map[string]map[uint64]fault{}}
+}
+
+func (s *Schedule) add(site string, nth []uint64, f fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.faults[site]
+	if m == nil {
+		m = map[uint64]fault{}
+		s.faults[site] = m
+	}
+	for _, n := range nth {
+		m[n] = f
+	}
+}
+
+// PanicOn schedules panics at the given 1-based hit numbers of site.
+func (s *Schedule) PanicOn(site string, nth ...uint64) {
+	s.add(site, nth, fault{kind: Panic})
+}
+
+// ErrorOn schedules err to be returned by Fire at the given hits. At
+// sites that cannot return errors (the Generator), the error panics.
+func (s *Schedule) ErrorOn(site string, err error, nth ...uint64) {
+	s.add(site, nth, fault{kind: Error, err: err})
+}
+
+// CorruptOn schedules deterministic record corruption at the given hits
+// of a Generator site.
+func (s *Schedule) CorruptOn(site string, nth ...uint64) {
+	s.add(site, nth, fault{kind: Corrupt})
+}
+
+// CallOn schedules a callback at the given hits — for tests that need to
+// cancel a context or take a snapshot at an exact campaign point.
+func (s *Schedule) CallOn(site string, fn func(), nth ...uint64) {
+	s.add(site, nth, fault{kind: Call, call: fn})
+}
+
+// Hits returns how many times site has fired so far.
+func (s *Schedule) Hits(site string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[site]
+}
+
+// take records a hit and returns the due fault, if any.
+func (s *Schedule) take(site string) (fault, uint64, bool) {
+	if s == nil {
+		return fault{}, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hits == nil {
+		s.hits = map[string]uint64{}
+	}
+	s.hits[site]++
+	n := s.hits[site]
+	f, ok := s.faults[site][n]
+	return f, n, ok
+}
+
+// Fire records one hit at site and applies any scheduled fault: Panic
+// panics, Error returns the error, Call invokes the callback, Corrupt is
+// a no-op here. Nil schedules fire nothing.
+func (s *Schedule) Fire(site string) error {
+	f, n, ok := s.take(site)
+	if !ok {
+		return nil
+	}
+	switch f.kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: scheduled panic at %s (hit %d)", site, n))
+	case Error:
+		return fmt.Errorf("faultinject: %s (hit %d): %w", site, n, f.err)
+	case Call:
+		f.call()
+	}
+	return nil
+}
+
+// Hook adapts Fire to the no-argument hook signature dram.Config (and
+// similar substrates) accept; a scheduled Error panics because the hook
+// has no error path — the resilience layer recovers it into a
+// *PanicError exactly like a real substrate bug.
+func (s *Schedule) Hook(site string) func() {
+	if s == nil {
+		return nil
+	}
+	return func() {
+		if err := s.Fire(site); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// WorkerSite names the campaign-runner site for one (workload, scheme)
+// simulation job; the scheme is the core.Mode's String form.
+func WorkerSite(workload, scheme string) string {
+	return "worker:" + workload + "/" + scheme
+}
+
+// DRAMSite is the per-access site the DRAM channels fire.
+const DRAMSite = "dram.access"
+
+// TraceSite is the per-record site the Generator wrapper fires.
+const TraceSite = "trace.record"
+
+// CorruptRecord deterministically mangles a trace record as corruption
+// hit n: the virtual address is XORed with a splitmix64 stream value
+// (keeping it inside the canonical 48-bit range) and the write flag
+// flips. The mutation is a pure function of n so replays corrupt
+// identically.
+func CorruptRecord(rec trace.Record, n uint64) trace.Record {
+	z := n ^ 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	rec.VA ^= addr.VA(z & 0x0000_FFFF_FFFF_F000)
+	rec.Write = !rec.Write
+	return rec
+}
+
+// Generator wraps a trace generator, firing Site once per record. A
+// scheduled Corrupt mutates the record via CorruptRecord; Panic and Error
+// faults panic (Next has no error path), modelling an unreadable or
+// poisoned trace that kills its worker.
+type Generator struct {
+	G    trace.Generator
+	S    *Schedule
+	Site string
+}
+
+// Wrap returns g with the schedule's TraceSite applied, or g unchanged
+// for a nil schedule.
+func Wrap(g trace.Generator, s *Schedule) trace.Generator {
+	if s == nil {
+		return g
+	}
+	return &Generator{G: g, S: s, Site: TraceSite}
+}
+
+// Next implements trace.Generator.
+func (g *Generator) Next() trace.Record {
+	rec := g.G.Next()
+	f, n, ok := g.S.take(g.Site)
+	if !ok {
+		return rec
+	}
+	switch f.kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: scheduled panic at %s (record %d)", g.Site, n))
+	case Error:
+		panic(fmt.Errorf("faultinject: %s (record %d): %w", g.Site, n, f.err))
+	case Corrupt:
+		return CorruptRecord(rec, n)
+	case Call:
+		f.call()
+	}
+	return rec
+}
+
+// Reset implements trace.Generator. The schedule's hit counters are NOT
+// reset: a campaign that reruns a workload keeps advancing through the
+// same global plan.
+func (g *Generator) Reset() { g.G.Reset() }

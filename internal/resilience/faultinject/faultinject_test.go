@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/trace"
+)
+
+func TestNilScheduleIsInert(t *testing.T) {
+	var s *Schedule
+	if err := s.Fire("anything"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hits("anything") != 0 {
+		t.Error("nil schedule counted a hit")
+	}
+	if s.Hook("x") != nil {
+		t.Error("nil schedule should produce a nil hook")
+	}
+	g := trace.NewUniform(trace.Params{FootprintBytes: 1 << 20, Threads: 1, Seed: 1})
+	if Wrap(g, nil) != trace.Generator(g) {
+		t.Error("Wrap(nil) should return the generator unchanged")
+	}
+}
+
+func TestPanicOnNthHit(t *testing.T) {
+	s := NewSchedule()
+	s.PanicOn("site", 3)
+	for i := 0; i < 2; i++ {
+		if err := s.Fire("site"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := resilience.Safe(func() error { return s.Fire("site") })
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("third hit: err = %v, want panic", err)
+	}
+	if s.Hits("site") != 3 {
+		t.Errorf("hits = %d", s.Hits("site"))
+	}
+	// Subsequent hits are clean again.
+	if err := s.Fire("site"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorOn(t *testing.T) {
+	s := NewSchedule()
+	sentinel := errors.New("io glitch")
+	s.ErrorOn("site", sentinel, 1, 2)
+	if err := s.Fire("site"); !errors.Is(err, sentinel) {
+		t.Errorf("hit 1: %v", err)
+	}
+	if err := s.Fire("site"); !errors.Is(err, sentinel) {
+		t.Errorf("hit 2: %v", err)
+	}
+	if err := s.Fire("site"); err != nil {
+		t.Errorf("hit 3 should be clean: %v", err)
+	}
+}
+
+func TestCallOn(t *testing.T) {
+	s := NewSchedule()
+	called := 0
+	s.CallOn("site", func() { called++ }, 2)
+	s.Fire("site")
+	s.Fire("site")
+	s.Fire("site")
+	if called != 1 {
+		t.Errorf("called = %d, want 1", called)
+	}
+}
+
+func TestHookPanicsOnScheduledError(t *testing.T) {
+	s := NewSchedule()
+	s.ErrorOn(DRAMSite, errors.New("ecc"), 2)
+	h := s.Hook(DRAMSite)
+	h() // hit 1: clean
+	err := resilience.Safe(func() error { h(); return nil })
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func newGen(seed uint64) trace.Generator {
+	return trace.NewUniform(trace.Params{FootprintBytes: 4 << 20, Threads: 2, Seed: seed})
+}
+
+func TestGeneratorCorruptionDeterministic(t *testing.T) {
+	mk := func() trace.Generator {
+		s := NewSchedule()
+		s.CorruptOn(TraceSite, 5)
+		return Wrap(newGen(1), s)
+	}
+	a := trace.Collect(mk(), 10)
+	b := trace.Collect(mk(), 10)
+	clean := trace.Collect(newGen(1), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d: corruption not deterministic", i)
+		}
+	}
+	if a[4] == clean[4] {
+		t.Error("record 5 was not corrupted")
+	}
+	for i := range a {
+		if i != 4 && a[i] != clean[i] {
+			t.Errorf("record %d mutated without a scheduled fault", i)
+		}
+	}
+}
+
+func TestGeneratorPanicOnRecord(t *testing.T) {
+	s := NewSchedule()
+	s.PanicOn(TraceSite, 3)
+	g := Wrap(newGen(1), s)
+	g.Next()
+	g.Next()
+	err := resilience.Safe(func() error { g.Next(); return nil })
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGeneratorResetKeepsHitCount(t *testing.T) {
+	s := NewSchedule()
+	g := Wrap(newGen(1), s)
+	g.Next()
+	g.Next()
+	g.Reset()
+	g.Next()
+	if got := s.Hits(TraceSite); got != 3 {
+		t.Errorf("hits = %d, want 3 (Reset must not rewind the plan)", got)
+	}
+}
+
+func TestCorruptRecordStaysCanonical(t *testing.T) {
+	rec := newGen(1).Next()
+	c := CorruptRecord(rec, 1)
+	if c.VA == rec.VA {
+		t.Error("VA unchanged")
+	}
+	if c.Write == rec.Write {
+		t.Error("write flag unchanged")
+	}
+	if uint64(c.VA)>>48 != uint64(rec.VA)>>48 {
+		t.Error("corruption escaped the canonical address range")
+	}
+}
+
+func TestWorkerSite(t *testing.T) {
+	if WorkerSite("gups", "pom-tlb") != "worker:gups/pom-tlb" {
+		t.Error(WorkerSite("gups", "pom-tlb"))
+	}
+}

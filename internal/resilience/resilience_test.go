@@ -1,0 +1,184 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSafeNoError(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafePassesError(t *testing.T) {
+	want := errors.New("boom")
+	if err := Safe(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestSafeRecoversPanic(t *testing.T) {
+	err := Safe(func() error { panic("worker died") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PanicError", err)
+	}
+	if pe.Value != "worker died" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "resilience") {
+		t.Errorf("stack not captured:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.String(), "worker died") {
+		t.Errorf("String() = %q", pe.String())
+	}
+}
+
+func TestSafeUnwrapsErrorPanic(t *testing.T) {
+	sentinel := errors.New("bad config")
+	err := Safe(func() error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error panic not unwrappable: %v", err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	sentinel := errors.New("still failing")
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return Permanent(errors.New("bad input"))
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !IsPermanent(err) {
+		t.Errorf("err not permanent: %v", err)
+	}
+}
+
+func TestRetryStopsOnPanic(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		panic("deterministic death")
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (panics are not transient)", calls)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, DefaultPolicy(), func(context.Context) error {
+		t.Error("fn should not run under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour} // would sleep forever
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	err := Retry(ctx, p, func(context.Context) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	for attempt := 0; attempt < 8; attempt++ {
+		a := p.Backoff(attempt)
+		b := p.Backoff(attempt)
+		if a != b {
+			t.Errorf("attempt %d: jitter not deterministic (%v vs %v)", attempt, a, b)
+		}
+		if a > time.Duration(float64(p.MaxDelay)*1.5) {
+			t.Errorf("attempt %d: backoff %v exceeds jittered cap", attempt, a)
+		}
+	}
+	if p.Backoff(3) < p.Backoff(0) {
+		t.Errorf("backoff should grow: %v then %v", p.Backoff(0), p.Backoff(3))
+	}
+}
+
+func TestRunWithTimeoutDeadline(t *testing.T) {
+	err := RunWithTimeout(context.Background(), time.Millisecond, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunWithTimeoutRecoversPanic(t *testing.T) {
+	err := RunWithTimeout(context.Background(), time.Second, func(context.Context) error {
+		panic("job crashed")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunWithTimeoutZeroMeansNone(t *testing.T) {
+	err := RunWithTimeout(context.Background(), 0, func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			return errors.New("unexpected deadline")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -105,10 +105,10 @@ type TLB struct {
 	stats   stats.HitMiss
 }
 
-// New creates a TLB; it panics on invalid configuration.
-func New(cfg Config) *TLB {
+// New creates a TLB, reporting configuration errors.
+func New(cfg Config) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := cfg.Entries / cfg.Ways
 	sets := make([][]slot, n)
@@ -116,7 +116,17 @@ func New(cfg Config) *TLB {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}
+	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+}
+
+// MustNew is New but panics on invalid configuration — the historical
+// behavior, used by call sites whose configuration was already validated.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Config returns the TLB's configuration.
@@ -288,7 +298,7 @@ type SplitL1 struct {
 
 // NewSplitL1 builds the Table 1 L1 TLB set.
 func NewSplitL1() *SplitL1 {
-	return &SplitL1{Small: New(L1Small()), Large: New(L1Large()), Huge: New(L1Huge())}
+	return &SplitL1{Small: MustNew(L1Small()), Large: MustNew(L1Large()), Huge: MustNew(L1Huge())}
 }
 
 // Lookup probes all structures in parallel (single cycle in hardware).

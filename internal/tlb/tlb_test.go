@@ -44,11 +44,11 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	New(Config{})
+	MustNew(Config{})
 }
 
 func TestLookupInsertRoundtrip(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	va := addr.VA(0x7f12_3456_7000)
 	if _, ok := tl.Lookup(1, 2, va); ok {
 		t.Error("cold lookup should miss")
@@ -61,7 +61,7 @@ func TestLookupInsertRoundtrip(t *testing.T) {
 }
 
 func TestTwoPageSizesCoexist(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	va := addr.VA(0x4000_0000)
 	tl.Insert(entry4K(1, 1, va.VPN(addr.Page4K), 0x10))
 	tl.Insert(Entry{VM: 1, PID: 1, VPN: addr.VA(0x8000_0000).VPN(addr.Page2M), PFN: 0x20, Size: addr.Page2M, Valid: true})
@@ -74,7 +74,7 @@ func TestTwoPageSizesCoexist(t *testing.T) {
 }
 
 func TestVMIsolation(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	va := addr.VA(0x1000)
 	tl.Insert(entry4K(1, 1, va.VPN(addr.Page4K), 0x42))
 	if _, ok := tl.Lookup(2, 1, va); ok {
@@ -87,7 +87,7 @@ func TestVMIsolation(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	cfg := Config{Name: "t", Entries: 4, Ways: 2} // 2 sets
-	tl := New(cfg)
+	tl := MustNew(cfg)
 	// Set 0 entries: VPNs 0, 2, 4 (all even → set 0).
 	tl.Insert(entry4K(1, 1, 0, 100))
 	tl.Insert(entry4K(1, 1, 2, 102))
@@ -102,7 +102,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestInsertRefreshExisting(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	tl.Insert(entry4K(1, 1, 5, 100))
 	victim, evicted := tl.Insert(entry4K(1, 1, 5, 200)) // remap
 	if evicted {
@@ -118,7 +118,7 @@ func TestInsertRefreshExisting(t *testing.T) {
 }
 
 func TestInsertInvalidIgnored(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	tl.Insert(Entry{})
 	if tl.Count() != 0 {
 		t.Error("invalid entry should not be inserted")
@@ -126,7 +126,7 @@ func TestInsertInvalidIgnored(t *testing.T) {
 }
 
 func TestInvalidatePage(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	tl.Insert(entry4K(1, 1, 7, 100))
 	if !tl.InvalidatePage(1, 1, 7, addr.Page4K) {
 		t.Error("InvalidatePage should find the entry")
@@ -140,7 +140,7 @@ func TestInvalidatePage(t *testing.T) {
 }
 
 func TestInvalidateVM(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	for vpn := uint64(0); vpn < 10; vpn++ {
 		tl.Insert(entry4K(1, 1, vpn, vpn))
 		tl.Insert(entry4K(2, 1, vpn+1000, vpn))
@@ -154,7 +154,7 @@ func TestInvalidateVM(t *testing.T) {
 }
 
 func TestInvalidateAll(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	tl.Insert(entry4K(1, 1, 1, 1))
 	tl.InvalidateAll()
 	if tl.Count() != 0 {
@@ -163,7 +163,7 @@ func TestInvalidateAll(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	tl.Lookup(1, 1, 0x1000) // miss
 	tl.Insert(entry4K(1, 1, 1, 1))
 	tl.Lookup(1, 1, 0x1000) // hit
@@ -209,7 +209,7 @@ func TestSplitL1(t *testing.T) {
 }
 
 func TestCapacityNeverExceeded(t *testing.T) {
-	tl := New(L1Small()) // 64 entries
+	tl := MustNew(L1Small()) // 64 entries
 	for vpn := uint64(0); vpn < 1000; vpn++ {
 		tl.Insert(entry4K(1, 1, vpn, vpn))
 	}
@@ -221,7 +221,7 @@ func TestCapacityNeverExceeded(t *testing.T) {
 // Property: inserting then looking up the same page always hits, for both
 // page sizes and arbitrary IDs.
 func TestInsertLookupProperty(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	f := func(raw uint64, vm uint8, pid uint8, large bool) bool {
 		size := addr.Page4K
 		if large {
@@ -241,7 +241,7 @@ func TestInsertLookupProperty(t *testing.T) {
 // Property: eviction victims were genuinely resident — re-looking them up
 // misses afterwards only if the set displaced them, never spuriously.
 func TestEvictionVictimProperty(t *testing.T) {
-	tl := New(Config{Name: "p", Entries: 8, Ways: 2})
+	tl := MustNew(Config{Name: "p", Entries: 8, Ways: 2})
 	f := func(vpn uint16) bool {
 		victim, evicted := tl.Insert(entry4K(1, 1, uint64(vpn), uint64(vpn)))
 		if evicted && tl.LookupOnly(victim.VM, victim.PID, victim.VPN, victim.Size) {
@@ -255,7 +255,7 @@ func TestEvictionVictimProperty(t *testing.T) {
 }
 
 func TestInvalidateProcess(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	for vpn := uint64(0); vpn < 5; vpn++ {
 		tl.Insert(entry4K(1, 1, vpn, vpn))
 		tl.Insert(entry4K(1, 2, vpn+100, vpn))
@@ -287,7 +287,7 @@ func TestSplitL1HugePages(t *testing.T) {
 }
 
 func TestUnifiedL2Holds1G(t *testing.T) {
-	tl := New(L2Unified())
+	tl := MustNew(L2Unified())
 	va := addr.VA(0x80_0000_0000)
 	tl.Insert(Entry{VM: 1, PID: 1, VPN: va.VPN(addr.Page1G), PFN: 0x44, Size: addr.Page1G, Valid: true})
 	if e, ok := tl.Lookup(1, 1, va+123); !ok || e.Size != addr.Page1G {

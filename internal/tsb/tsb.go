@@ -78,16 +78,26 @@ type TSB struct {
 	Conflicts uint64
 }
 
-// New builds a TSB; it panics on invalid configuration.
-func New(cfg Config) *TSB {
+// New builds a TSB, reporting configuration errors.
+func New(cfg Config) (*TSB, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	n := cfg.SizeBytes / EntryBytes
 	for n&(n-1) != 0 {
 		n &= n - 1
 	}
-	return &TSB{cfg: cfg, slots: make([]entry, n), mask: n - 1}
+	return &TSB{cfg: cfg, slots: make([]entry, n), mask: n - 1}, nil
+}
+
+// MustNew is New but panics on invalid configuration — the historical
+// behavior, used by call sites whose configuration was already validated.
+func MustNew(cfg Config) *TSB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Config returns the TSB's configuration.

@@ -12,7 +12,7 @@ func TestDefaultConfig(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	b := New(cfg)
+	b := MustNew(cfg)
 	if b.Slots() != (16<<20)/16 {
 		t.Errorf("slots = %d", b.Slots())
 	}
@@ -33,11 +33,11 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	New(Config{})
+	MustNew(Config{})
 }
 
 func TestLookupInsert(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	va := addr.VA(0x7f00_1234_5000)
 	if _, ok := b.Lookup(1, 1, va, addr.Page4K); ok {
 		t.Error("cold lookup should miss")
@@ -53,7 +53,7 @@ func TestLookupInsert(t *testing.T) {
 }
 
 func TestIsolation(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	va := addr.VA(0x1000)
 	b.Insert(1, 1, va.VPN(addr.Page4K), 0x42, addr.Page4K)
 	if _, ok := b.Lookup(1, 2, va, addr.Page4K); ok {
@@ -65,7 +65,7 @@ func TestIsolation(t *testing.T) {
 }
 
 func TestDirectMappedConflict(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	stride := b.Slots() // same slot
 	b.Insert(1, 1, 5, 1, addr.Page4K)
 	b.Insert(1, 1, 5+stride, 2, addr.Page4K)
@@ -81,7 +81,7 @@ func TestDirectMappedConflict(t *testing.T) {
 }
 
 func TestEntryAddrInBuffer(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	for _, va := range []addr.VA{0, 0x1000, 0xdead_beef_0000} {
 		for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
 			a := uint64(b.EntryAddr(1, va, s))
@@ -96,7 +96,7 @@ func TestEntryAddrInBuffer(t *testing.T) {
 }
 
 func TestInvalidatePage(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	b.Insert(1, 1, 9, 1, addr.Page4K)
 	if !b.InvalidatePage(1, 1, 9, addr.Page4K) {
 		t.Error("invalidate should succeed")
@@ -110,7 +110,7 @@ func TestInvalidatePage(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	b.Lookup(1, 1, 0x1000, addr.Page4K)
 	b.Insert(1, 1, 1, 1, addr.Page4K)
 	b.Lookup(1, 1, 0x1000, addr.Page4K)
@@ -122,7 +122,7 @@ func TestStats(t *testing.T) {
 
 // Property: insert-then-lookup roundtrips.
 func TestInsertLookupProperty(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	f := func(raw uint64, pfn uint32, vm, pid uint8, large bool) bool {
 		size := addr.Page4K
 		if large {
@@ -139,7 +139,7 @@ func TestInsertLookupProperty(t *testing.T) {
 }
 
 func TestInvalidateProcess(t *testing.T) {
-	b := New(DefaultConfig())
+	b := MustNew(DefaultConfig())
 	b.Insert(1, 1, 1, 1, addr.Page4K)
 	b.Insert(1, 2, 2, 2, addr.Page4K)
 	if n := b.InvalidateProcess(1, 1); n != 1 {
