@@ -62,6 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		trcPath  = fs.String("trace", "", "replay a binary trace file instead of the synthetic generator")
 		jsonOut  = fs.Bool("json", false, "emit the full result as JSON instead of the summary table")
 		compare  = fs.Bool("compare", false, "run every scheme on the workload and print a comparison")
+		selfchk  = fs.Bool("selfcheck", false, "run the differential-verification matrix (workloads × schemes under lockstep reference models) and exit non-zero on any divergence")
 		list     = fs.Bool("list", false, "list workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +118,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	p, ok := workloads.ByName(file.Workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q (try -list)", file.Workload)
+	}
+	if *selfchk {
+		return runSelfCheck(ctx, out, file.Config)
 	}
 	if *compare {
 		return runComparison(ctx, out, p, file.Config)
@@ -229,6 +233,59 @@ func runComparison(ctx context.Context, out io.Writer, p workloads.Profile, base
 			stats.Pct(res.WalkEliminationRate()), imp)
 	}
 	fmt.Fprintf(out, "workload %s — all schemes, identical trace\n\n%s", p.Name, t.String())
+	return nil
+}
+
+// selfCheckWorkloads span the access-pattern space: uniformly random
+// (gups), pointer-chasing with locality (mcf), and bursty graph
+// traversal (graph500). Three patterns × three schemes exercise every
+// production structure against its reference model.
+var selfCheckWorkloads = []string{"gups", "mcf", "graph500"}
+
+// runSelfCheck executes the differential-verification matrix: each
+// workload runs under each translation scheme with lockstep reference
+// models attached to every TLB, cache, DRAM channel and POM-TLB
+// partition, plus periodic structural-invariant sweeps and result
+// accounting checks. Any divergence fails the command.
+func runSelfCheck(ctx context.Context, out io.Writer, base core.Config) error {
+	t := stats.NewTable("workload", "scheme", "decisions", "divergences", "status")
+	failed := false
+	for _, name := range selfCheckWorkloads {
+		p, ok := workloads.ByName(name)
+		if !ok {
+			return fmt.Errorf("selfcheck workload %q missing", name)
+		}
+		for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.TSB} {
+			cfg := base
+			cfg.Mode = mode
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return err
+			}
+			sc := sys.EnableSelfCheck()
+			res, err := sys.RunContext(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
+			if err != nil {
+				return err
+			}
+			status := "ok"
+			if err := sc.Err(); err != nil {
+				status = "FAIL"
+				failed = true
+				fmt.Fprintf(out, "%s/%s: %v\n%s\n", name, mode, err, sc.Report())
+			} else if err := res.CheckAccounting(); err != nil {
+				status = "FAIL"
+				failed = true
+				fmt.Fprintf(out, "%s/%s: %v\n", name, mode, err)
+			}
+			t.AddRow(name, mode.String(), fmt.Sprint(sc.Harness().Decisions()),
+				fmt.Sprint(sc.Harness().Divergences()), status)
+		}
+	}
+	fmt.Fprint(out, t.String())
+	if failed {
+		return fmt.Errorf("self-check found divergences")
+	}
+	fmt.Fprintln(out, "\nself-check clean: production models agree with reference models")
 	return nil
 }
 

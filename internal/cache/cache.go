@@ -127,6 +127,22 @@ func L2() Config { return Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4, Late
 // L3 returns the 8 MB 16-way 42-cycle shared cache config.
 func L3() Config { return Config{Name: "L3", SizeBytes: 8 << 20, Ways: 16, Latency: 42} }
 
+// Shadow observes every decision a cache level makes, in program order.
+// The differential oracle (internal/oracle) attaches one per level and
+// replays each operation against an independent recency-stack reference
+// model, flagging disagreements in hit/miss outcomes or victim choice.
+// A nil shadow costs one branch per operation.
+type Shadow interface {
+	// Access reports one lookup and its production outcome.
+	Access(line uint64, write bool, kind Kind, hit bool)
+	// Fill reports one fill and the production eviction decision.
+	Fill(line uint64, write bool, kind Kind, ev Eviction)
+	// Invalidate reports a single-line invalidation.
+	Invalidate(line uint64, present, dirty bool)
+	// InvalidateKind reports a kind-wide flush and how many lines dropped.
+	InvalidateKind(kind Kind, n int)
+}
+
 // way is one line frame.
 type way struct {
 	tag   uint64
@@ -172,6 +188,7 @@ type Cache struct {
 	setMask uint64
 	clock   uint64
 	stats   Stats
+	shadow  Shadow
 
 	// resident tracks how many currently-valid lines hold each kind, so
 	// occupancy interference is observable.
@@ -204,6 +221,9 @@ func MustNew(cfg Config) *Cache {
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetShadow attaches (or, with nil, detaches) a lockstep observer.
+func (c *Cache) SetShadow(s Shadow) { c.shadow = s }
 
 // Latency returns the hit latency in cycles.
 func (c *Cache) Latency() uint64 { return c.cfg.Latency }
@@ -239,10 +259,16 @@ func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
 				w.dirty = true
 			}
 			c.stats.Access[kind].Hit()
+			if c.shadow != nil {
+				c.shadow.Access(line, write, kind, true)
+			}
 			return true
 		}
 	}
 	c.stats.Access[kind].Miss()
+	if c.shadow != nil {
+		c.shadow.Access(line, write, kind, false)
+	}
 	return false
 }
 
@@ -253,9 +279,9 @@ func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
 func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 	c.clock++
 	set := c.sets[c.setIndex(line)]
-	victim := -1
-	victimPreferred := false
-	pref, hasPref := c.cfg.Priority.preferred()
+	// Scan the whole set for a present copy before choosing a victim:
+	// stopping the search at an invalid way would miss a matching line
+	// beyond it and install a duplicate.
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == line {
@@ -264,8 +290,17 @@ func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 			if write {
 				w.dirty = true
 			}
+			if c.shadow != nil {
+				c.shadow.Fill(line, write, kind, Eviction{})
+			}
 			return Eviction{}
 		}
+	}
+	victim := -1
+	victimPreferred := false
+	pref, hasPref := c.cfg.Priority.preferred()
+	for i := range set {
+		w := &set[i]
 		if !w.valid {
 			victim = i
 			victimPreferred = false
@@ -294,6 +329,9 @@ func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 	}
 	*w = way{tag: line, valid: true, dirty: write, kind: kind, lru: c.clock}
 	c.resident[kind]++
+	if c.shadow != nil {
+		c.shadow.Fill(line, write, kind, ev)
+	}
 	return ev
 }
 
@@ -307,10 +345,13 @@ func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
 			c.resident[w.kind]--
 			present, dirty = true, w.dirty
 			*w = way{}
-			return present, dirty
+			break
 		}
 	}
-	return false, false
+	if c.shadow != nil {
+		c.shadow.Invalidate(line, present, dirty)
+	}
+	return present, dirty
 }
 
 // InvalidateKind drops every line of the given kind (used by conservative
@@ -326,11 +367,59 @@ func (c *Cache) InvalidateKind(kind Kind) int {
 			}
 		}
 	}
+	if c.shadow != nil {
+		c.shadow.InvalidateKind(kind, n)
+	}
 	return n
 }
 
 // Resident returns how many valid lines currently hold the given kind.
 func (c *Cache) Resident(kind Kind) uint64 { return c.resident[kind] }
+
+// CheckInvariants validates the cache's internal structural invariants:
+// every valid line resides in the set its address indexes, LRU stamps are
+// unique within a set and never ahead of the clock, no line is duplicated
+// across ways, and the per-kind residency counters match a recount. It
+// returns the first violation found, or nil.
+func (c *Cache) CheckInvariants() error {
+	var recount [numKinds]uint64
+	seen := make(map[uint64]int)
+	for si, set := range c.sets {
+		stamps := make(map[uint64]int, len(set))
+		for wi := range set {
+			w := &set[wi]
+			if !w.valid {
+				continue
+			}
+			recount[w.kind]++
+			if want := c.setIndex(w.tag); want != uint64(si) {
+				return fmt.Errorf("cache %q: line %#x resident in set %d, its address indexes set %d",
+					c.cfg.Name, w.tag, si, want)
+			}
+			if w.lru > c.clock {
+				return fmt.Errorf("cache %q: set %d way %d LRU stamp %d ahead of clock %d",
+					c.cfg.Name, si, wi, w.lru, c.clock)
+			}
+			if prev, dup := stamps[w.lru]; dup {
+				return fmt.Errorf("cache %q: set %d ways %d and %d share LRU stamp %d",
+					c.cfg.Name, si, prev, wi, w.lru)
+			}
+			stamps[w.lru] = wi
+			if prev, dup := seen[w.tag]; dup {
+				return fmt.Errorf("cache %q: line %#x duplicated in sets %d and %d",
+					c.cfg.Name, w.tag, prev, si)
+			}
+			seen[w.tag] = si
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if recount[k] != c.resident[k] {
+			return fmt.Errorf("cache %q: resident[%s]=%d but recount found %d",
+				c.cfg.Name, k, c.resident[k], recount[k])
+		}
+	}
+	return nil
+}
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }

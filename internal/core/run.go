@@ -165,6 +165,13 @@ func (s *System) Run(g trace.Generator, workload string) (Result, error) {
 // keeps cancellation latency well under a millisecond at negligible cost.
 const cancelCheckInterval = 1024
 
+// selfCheckInterval is how many records run between structural invariant
+// sweeps when self-checking is enabled. A sweep walks every set of every
+// structure, so it is far costlier than a record; every 64 Ki records it
+// stays under a few percent of runtime while still catching corruption
+// close to where it happened.
+const selfCheckInterval = 64 * 1024
+
 // RunContext is Run with cooperative cancellation: the simulation polls
 // ctx between records and returns ctx.Err() (with the partial Result
 // accumulated so far) when the deadline passes or the campaign is
@@ -185,6 +192,9 @@ func (s *System) RunContext(ctx context.Context, g trace.Generator, workload str
 		}
 		if i == s.cfg.WarmupRefs {
 			s.resetStats()
+		}
+		if s.selfCheck != nil && i%selfCheckInterval == selfCheckInterval-1 {
+			s.selfCheck.sweep()
 		}
 		c := s.minClockCore()
 		rec := sched.next(c.id)
@@ -215,6 +225,7 @@ func (s *System) resetStats() {
 	for _, c := range s.cores {
 		c.l1tlb.Small.ResetStats()
 		c.l1tlb.Large.ResetStats()
+		c.l1tlb.Huge.ResetStats()
 		c.l2tlb.ResetStats()
 		c.l1d.ResetStats()
 		c.l2.ResetStats()
@@ -258,6 +269,7 @@ func (s *System) finalize() {
 	for _, c := range s.cores {
 		l1 := c.l1tlb.Small.Stats()
 		l1.Add(c.l1tlb.Large.Stats())
+		l1.Add(c.l1tlb.Huge.Stats())
 		s.res.L1TLB.Add(l1)
 		s.res.L2TLB.Add(c.l2tlb.Stats())
 		s.res.SizePred.Add(c.pred.SizeStats())

@@ -62,6 +62,10 @@ type System struct {
 	// mustWalk to the calling scheme path.
 	lastWalkLatency uint64
 
+	// selfCheck, when non-nil, is the differential-verification hook
+	// enabled by EnableSelfCheck.
+	selfCheck *SelfCheck
+
 	res Result
 }
 

@@ -99,7 +99,11 @@ func (s *System) mustWalk(c *coreState, va addr.VA) tlb.Entry {
 		panic(fmt.Sprintf("core: walk fault for mapped address %v on core %d", va, c.id))
 	}
 	s.lastWalkLatency = w.Latency
-	return walkEntry(c.vmid, c.pid, va, w)
+	e := walkEntry(c.vmid, c.pid, va, w)
+	if s.selfCheck != nil {
+		s.selfCheck.checkWalk(c, va, e, w.Refs)
+	}
+	return e
 }
 
 // baselinePath is the Skylake-like baseline: an L2 TLB miss starts the
@@ -225,7 +229,10 @@ func (s *System) pomPath(c *coreState, va addr.VA) tlb.Entry {
 	}
 
 	c.pred.UpdateSize(va, actual)
-	if useCaches {
+	// A disabled bypass predictor is neither consulted nor trained;
+	// scoring it would fake Figure 10 accuracy for a predictor that
+	// never influenced a probe.
+	if useCaches && !s.cfg.DisableBypassPredictor {
 		shouldBypass := !firstCachesHit
 		if bypass {
 			// The caches were skipped; score the decision against what

@@ -176,6 +176,16 @@ func (s Stats) AvgLatency() float64 {
 	return float64(s.TotalCycle) / float64(s.Accesses)
 }
 
+// Shadow observes every DRAM access in program order. The differential
+// oracle (internal/oracle) attaches one per channel and replays each
+// access against a naive per-bank open-row tracker, flagging any
+// disagreement in bank/row decomposition or row-buffer outcome.
+// refreshes is the channel's total retired refresh count at the time of
+// the access, so the tracker can mirror refresh-induced row closures.
+type Shadow interface {
+	Access(a addr.HPA, write bool, refreshes uint64, res Result)
+}
+
 // Channel is one independently-timed DRAM channel.
 type Channel struct {
 	cfg     Config
@@ -187,6 +197,11 @@ type Channel struct {
 	colBits     uint // log2(lines per row)
 	bankMask    uint64
 	stats       Stats
+	shadow      Shadow
+	// refreshEpochs counts retired refresh windows like stats.Refreshes
+	// but survives ResetStats, so the shadow's row-closure mirroring stays
+	// aligned with bank state (which resets never touch).
+	refreshEpochs uint64
 }
 
 // New creates a channel, reporting configuration errors.
@@ -220,6 +235,9 @@ func MustNew(cfg Config) *Channel {
 
 // Config returns the channel's configuration.
 func (ch *Channel) Config() Config { return ch.cfg }
+
+// SetShadow attaches (or, with nil, detaches) a lockstep observer.
+func (ch *Channel) SetShadow(s Shadow) { ch.shadow = s }
 
 // decompose maps a physical address onto (bank, row, column). Consecutive
 // cache lines share a row until the row is exhausted, then move to the next
@@ -280,6 +298,7 @@ func (ch *Channel) Access(now uint64, a addr.HPA, write bool) Result {
 			}
 			ch.nextRefresh += ch.cfg.TREFI
 			ch.stats.Refreshes++
+			ch.refreshEpochs++
 		}
 	}
 
@@ -338,7 +357,32 @@ func (ch *Channel) Access(now uint64, a addr.HPA, write bool) Result {
 	ch.stats.TotalWait += wait
 	ch.stats.TotalCycle += total
 
-	return Result{Latency: total, RowBufferHit: hit, Bank: bi, Row: row}
+	res := Result{Latency: total, RowBufferHit: hit, Bank: bi, Row: row}
+	if ch.shadow != nil {
+		ch.shadow.Access(a, write, ch.refreshEpochs, res)
+	}
+	return res
+}
+
+// CheckInvariants validates the channel's accounting identities: every
+// access is classified exactly once (hit + miss + conflict = accesses),
+// is either a read or a write, and total latency can never be less than
+// the time spent waiting. Returns the first violation found, or nil.
+func (ch *Channel) CheckInvariants() error {
+	s := ch.stats
+	if s.RowHits+s.RowMisses+s.RowConfl != s.Accesses {
+		return fmt.Errorf("dram %q: row outcomes %d+%d+%d != accesses %d",
+			ch.cfg.Name, s.RowHits, s.RowMisses, s.RowConfl, s.Accesses)
+	}
+	if s.Reads+s.Writes != s.Accesses {
+		return fmt.Errorf("dram %q: reads %d + writes %d != accesses %d",
+			ch.cfg.Name, s.Reads, s.Writes, s.Accesses)
+	}
+	if s.TotalCycle < s.TotalWait {
+		return fmt.Errorf("dram %q: total latency %d below total wait %d",
+			ch.cfg.Name, s.TotalCycle, s.TotalWait)
+	}
+	return nil
 }
 
 // Stats returns a copy of the accumulated statistics.

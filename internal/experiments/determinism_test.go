@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tiny returns the smallest campaign that still renders every report
+// section: one workload, quick trace lengths.
+func tiny() Options {
+	o := QuickOptions()
+	o.Workloads = []string{"gups"}
+	return o
+}
+
+// TestReportByteIdentical is the seed-determinism regression at the
+// artifact level: two fresh campaigns from identical options must render
+// byte-identical markdown reports — any drift means a map iteration,
+// goroutine race or time dependence leaked into the results.
+func TestReportByteIdentical(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := Report(&sb, tiny(), false); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("fresh campaigns rendered different reports:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestCSVsByteIdentical extends the property to the CSV artifacts.
+func TestCSVsByteIdentical(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	pathsA, err := WriteCSVs(dirA, NewRunner(tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathsB, err := WriteCSVs(dirB, NewRunner(tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathsA) != len(pathsB) {
+		t.Fatalf("wrote %d vs %d CSVs", len(pathsA), len(pathsB))
+	}
+	for i := range pathsA {
+		a, err := os.ReadFile(pathsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pathsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between identical campaigns", filepath.Base(pathsA[i]))
+		}
+	}
+}
+
+// TestResumedReportMatchesFresh runs one campaign journaling into a
+// checkpoint, then renders the same report from a second process-worth of
+// state: a fresh runner resuming from the journal. The resumed report
+// must be byte-identical to the fresh one — resume must change where
+// results come from, never what they are.
+func TestResumedReportMatchesFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	fp := Fingerprint(tiny())
+
+	render := func() string {
+		cp, err := LoadCheckpoint(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := tiny()
+		o.Checkpoint = cp
+		var sb strings.Builder
+		if err := Report(&sb, o, false); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	fresh := render()
+
+	cp, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() == 0 {
+		t.Fatal("first campaign journaled no cells; resume test is vacuous")
+	}
+	resumed := render()
+	if fresh != resumed {
+		t.Fatalf("resumed report differs from fresh:\n%s", firstDiff(fresh, resumed))
+	}
+}
+
+// firstDiff renders the first differing line of two texts for a readable
+// failure message.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, la[i], lb[i])
+		}
+	}
+	return "texts differ in length"
+}
+
+// FuzzCheckpointLoad fuzzes the journal loader against arbitrary file
+// contents: it must never panic, must reject syntactically-corrupt JSON
+// and fingerprint mismatches with errors, and when it does accept a file
+// the journal must still round-trip a Put/Get.
+func FuzzCheckpointLoad(f *testing.F) {
+	fp := Fingerprint(QuickOptions())
+	valid, err := json.Marshal(checkpointPayload{Version: 1, Fingerprint: fp,
+		Cells: map[string]core.Result{"gups|pom-tlb": {Records: 7}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"version":1,"fingerprint":"wrong","cells":{}}`))
+	f.Add(valid)
+	f.Add([]byte(`{"version":1,"fingerprint":"` + fp + `","cells":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "cp.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := LoadCheckpoint(path, fp)
+		if err != nil {
+			return // corrupt or mismatched journals are rejected, not loaded
+		}
+		want := core.Result{Records: 123, Cycles: 456}
+		if err := cp.Put("wl", core.POMTLB, want); err != nil {
+			t.Fatal(err)
+		}
+		re, err := LoadCheckpoint(path, fp)
+		if err != nil {
+			t.Fatalf("journal written by Put failed to reload: %v", err)
+		}
+		got, ok := re.Get("wl", core.POMTLB)
+		if !ok || got.Records != want.Records || got.Cycles != want.Cycles {
+			t.Fatalf("round trip lost the cell: %+v ok=%v", got, ok)
+		}
+	})
+}

@@ -63,6 +63,13 @@ type Options struct {
 	// combines hardware measurement with scheme simulation (§3.3).
 	UncalibratedWalks bool
 
+	// SelfCheck runs every cell under differential verification: lockstep
+	// reference models shadow each TLB/cache/DRAM structure and a cell
+	// whose production models diverge from the references fails even if it
+	// produced a Result. Roughly doubles per-cell cost; meant for
+	// validation campaigns, not headline sweeps.
+	SelfCheck bool
+
 	// WorkloadTimeout bounds each (workload, scheme) simulation; a cell
 	// that exceeds it fails with context.DeadlineExceeded while the rest
 	// of the campaign continues (0 = no per-job deadline).
@@ -240,9 +247,24 @@ func (r *Runner) simulate(ctx context.Context, name string, mode core.Mode) (cor
 		if err != nil {
 			return err
 		}
+		var sc *core.SelfCheck
+		if r.opts.SelfCheck {
+			sc = sys.EnableSelfCheck()
+		}
 		gen := faultinject.Wrap(p.Generator(r.opts.Cores, r.opts.Seed), r.opts.Faults)
 		res, err = sys.RunContext(ctx, gen, name)
-		return err
+		if err != nil {
+			return err
+		}
+		if sc != nil {
+			if err := sc.Err(); err != nil {
+				return resilience.Permanent(fmt.Errorf("experiments: self-check diverged: %w", err))
+			}
+			if err := res.CheckAccounting(); err != nil {
+				return resilience.Permanent(err)
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return core.Result{}, asWorkloadError(err, name, mode)

@@ -1,0 +1,95 @@
+// Package oracle is the simulator's differential-testing subsystem: a set
+// of small, obviously-correct reference models (map+LRU-list TLB,
+// recency-stack cache, naive per-bank DRAM row tracker, way-mirroring
+// 2-bit-LRU POM-TLB partition) that run in lockstep with the production
+// models via the Shadow hooks each model package exposes, diffing every
+// hit/miss, eviction, placement and latency decision.
+//
+// The reference models deliberately share no code with the production
+// structures: indexes are recomputed with division/modulo instead of
+// masks, recency is an explicit ordered stack instead of clock stamps,
+// and the DRAM tracker keeps only open-row state. A bug in either side
+// shows up as a divergence; agreement across millions of decisions is
+// the evidence the paper's figures rest on (enable with `pomsim
+// -selfcheck`).
+package oracle
+
+import (
+	"fmt"
+	"sync"
+)
+
+// maxStored bounds how many divergence messages a harness keeps; the
+// count keeps rising past the cap, only the text is dropped.
+const maxStored = 32
+
+// Harness collects divergences from every reference model attached to
+// one simulated system. It is safe for concurrent use (the experiments
+// runner simulates different systems on different goroutines, each with
+// its own harness, but the locking also makes a shared harness safe).
+type Harness struct {
+	mu        sync.Mutex
+	decisions uint64
+	diverged  int
+	msgs      []string
+}
+
+// NewHarness creates an empty harness.
+func NewHarness() *Harness { return &Harness{} }
+
+// Decision records one production decision that was checked and agreed.
+func (h *Harness) Decision() {
+	h.mu.Lock()
+	h.decisions++
+	h.mu.Unlock()
+}
+
+// Reportf records one divergence between a production model and its
+// reference. The first maxStored messages are retained verbatim.
+func (h *Harness) Reportf(format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.diverged++
+	if len(h.msgs) < maxStored {
+		h.msgs = append(h.msgs, fmt.Sprintf(format, args...))
+	}
+}
+
+// Decisions returns how many checked decisions agreed or diverged.
+func (h *Harness) Decisions() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.decisions
+}
+
+// Divergences returns how many decisions disagreed.
+func (h *Harness) Divergences() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.diverged
+}
+
+// Messages returns the retained divergence descriptions.
+func (h *Harness) Messages() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.msgs))
+	copy(out, h.msgs)
+	return out
+}
+
+// Err returns nil when every checked decision agreed, and otherwise an
+// error summarising the divergence count and the first recorded message.
+func (h *Harness) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.diverged == 0 {
+		return nil
+	}
+	first := "(messages dropped)"
+	if len(h.msgs) > 0 {
+		first = h.msgs[0]
+	}
+	return fmt.Errorf("oracle: %d of %d checked decisions diverged; first: %s",
+		h.diverged, h.decisions, first)
+}

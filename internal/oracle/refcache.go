@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"repro/internal/cache"
+)
+
+// refLine is one resident line in the reference cache.
+type refLine struct {
+	line  uint64
+	dirty bool
+	kind  cache.Kind
+}
+
+// RefCache is the recency-stack reference model for one cache level: each
+// set is an explicit recency-ordered slice (least recent first), so the
+// LRU victim is simply the front. The Section 5.1 priority policy is
+// restated independently: when a preference exists and the set holds any
+// non-preferred line, the victim is the least-recent non-preferred line.
+// It implements cache.Shadow.
+type RefCache struct {
+	h       *Harness
+	name    string
+	ways    int
+	numSets uint64
+	pref    cache.Kind
+	hasPref bool
+	sets    [][]refLine
+}
+
+// NewRefCache builds the reference for c's geometry and attaches it.
+func NewRefCache(h *Harness, c *cache.Cache) *RefCache {
+	cfg := c.Config()
+	r := &RefCache{
+		h:       h,
+		name:    cfg.Name,
+		ways:    cfg.Ways,
+		numSets: cfg.Sets(),
+		sets:    make([][]refLine, cfg.Sets()),
+	}
+	switch cfg.Priority {
+	case cache.PreferTLB:
+		r.pref, r.hasPref = cache.TLBEntry, true
+	case cache.PreferData:
+		r.pref, r.hasPref = cache.Data, true
+	}
+	c.SetShadow(r)
+	return r
+}
+
+func (r *RefCache) set(line uint64) uint64 { return line % r.numSets }
+
+func (r *RefCache) find(si uint64, line uint64) int {
+	for i, w := range r.sets[si] {
+		if w.line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *RefCache) touch(si uint64, i int) {
+	set := r.sets[si]
+	w := set[i]
+	r.sets[si] = append(append(set[:i:i], set[i+1:]...), w)
+}
+
+// Access implements cache.Shadow.
+func (r *RefCache) Access(line uint64, write bool, kind cache.Kind, hit bool) {
+	r.h.Decision()
+	si := r.set(line)
+	i := r.find(si, line)
+	if (i >= 0) != hit {
+		r.h.Reportf("cache %s: access line %#x production hit=%v, reference hit=%v", r.name, line, hit, i >= 0)
+		return
+	}
+	if i < 0 {
+		return
+	}
+	if write {
+		r.sets[si][i].dirty = true
+	}
+	r.touch(si, i)
+}
+
+// Fill implements cache.Shadow.
+func (r *RefCache) Fill(line uint64, write bool, kind cache.Kind, ev cache.Eviction) {
+	r.h.Decision()
+	si := r.set(line)
+	set := r.sets[si]
+	if i := r.find(si, line); i >= 0 {
+		// Refresh of an already-present line: kind is retained.
+		if ev.Valid {
+			r.h.Reportf("cache %s: refresh fill of %#x evicted %#x, reference expected no eviction",
+				r.name, line, ev.Line)
+		}
+		if write {
+			set[i].dirty = true
+		}
+		r.touch(si, i)
+		return
+	}
+	if len(set) < r.ways {
+		if ev.Valid {
+			r.h.Reportf("cache %s: fill %#x evicted %#x with only %d/%d reference ways full",
+				r.name, line, ev.Line, len(set), r.ways)
+		}
+		r.sets[si] = append(set, refLine{line: line, dirty: write, kind: kind})
+		return
+	}
+	vi := 0
+	if r.hasPref {
+		for i, w := range set {
+			if w.kind != r.pref {
+				vi = i
+				break
+			}
+		}
+	}
+	victim := set[vi]
+	switch {
+	case !ev.Valid:
+		r.h.Reportf("cache %s: fill %#x into full set %d did not evict; reference expected victim %#x",
+			r.name, line, si, victim.line)
+	case ev.Line != victim.line || ev.Dirty != victim.dirty || ev.Kind != victim.kind:
+		r.h.Reportf("cache %s: fill %#x evicted {line=%#x dirty=%v %s}, reference victim {line=%#x dirty=%v %s}",
+			r.name, line, ev.Line, ev.Dirty, ev.Kind, victim.line, victim.dirty, victim.kind)
+	}
+	set = append(set[:vi:vi], set[vi+1:]...)
+	r.sets[si] = append(set, refLine{line: line, dirty: write, kind: kind})
+}
+
+// Invalidate implements cache.Shadow.
+func (r *RefCache) Invalidate(line uint64, present, dirty bool) {
+	r.h.Decision()
+	si := r.set(line)
+	i := r.find(si, line)
+	if (i >= 0) != present {
+		r.h.Reportf("cache %s: invalidate %#x production present=%v, reference present=%v",
+			r.name, line, present, i >= 0)
+	}
+	if i < 0 {
+		return
+	}
+	if r.sets[si][i].dirty != dirty {
+		r.h.Reportf("cache %s: invalidate %#x production dirty=%v, reference dirty=%v",
+			r.name, line, dirty, r.sets[si][i].dirty)
+	}
+	set := r.sets[si]
+	r.sets[si] = append(set[:i:i], set[i+1:]...)
+}
+
+// InvalidateKind implements cache.Shadow.
+func (r *RefCache) InvalidateKind(kind cache.Kind, n int) {
+	r.h.Decision()
+	removed := 0
+	for si, set := range r.sets {
+		kept := set[:0:len(set)]
+		for _, w := range set {
+			if w.kind == kind {
+				removed++
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		r.sets[si] = kept
+	}
+	if removed != n {
+		r.h.Reportf("cache %s: kind flush of %s dropped %d production lines, %d reference lines",
+			r.name, kind, n, removed)
+	}
+}

@@ -1,0 +1,94 @@
+package oracle
+
+import (
+	"repro/internal/addr"
+	"repro/internal/dram"
+)
+
+// RefDRAM is the naive per-bank open-row tracker: it keeps nothing but
+// which row each bank last opened, recomputes the (bank, row)
+// decomposition with division/modulo, and rederives each access's
+// row-buffer classification and minimum possible latency from the
+// configured timings. Timing waits (busy banks, bus contention, refresh
+// stalls) are production-only state, so latency is checked as a lower
+// bound rather than diffed exactly. It implements dram.Shadow.
+type RefDRAM struct {
+	h        *Harness
+	name     string
+	rowLines uint64 // lines per row, rounded up to a power of two
+	banks    uint64
+	open     []int64 // open row per bank, -1 when closed
+	seen     uint64  // refresh count at the last access
+
+	// Minimum CPU-cycle cost per classification, plus burst + controller
+	// overhead — recomputed from the raw timing parameters.
+	hitLat, missLat, conflLat uint64
+}
+
+// NewRefDRAM builds the reference for ch's configuration and attaches it.
+func NewRefDRAM(h *Harness, ch *dram.Channel) *RefDRAM {
+	cfg := ch.Config()
+	rowLines := uint64(1)
+	for rowLines < cfg.RowBytes/addr.CacheLineSize {
+		rowLines *= 2
+	}
+	// CPU cycles for n DRAM bus cycles, rounding up.
+	cpu := func(n uint64) uint64 { return (n*cfg.CPUMHz + cfg.BusMHz - 1) / cfg.BusMHz }
+	// One 64 B line over a DDR bus moving 2×BusBytes per bus cycle.
+	burst := cpu((uint64(addr.CacheLineSize) + 2*cfg.BusBytes - 1) / (2 * cfg.BusBytes))
+	r := &RefDRAM{
+		h:        h,
+		name:     cfg.Name,
+		rowLines: rowLines,
+		banks:    uint64(cfg.Banks),
+		open:     make([]int64, cfg.Banks),
+		hitLat:   cpu(cfg.TCAS) + burst + cfg.CtrlOverhead,
+		missLat:  cpu(cfg.TRCD+cfg.TCAS) + burst + cfg.CtrlOverhead,
+		conflLat: cpu(cfg.TRP+cfg.TRCD+cfg.TCAS) + burst + cfg.CtrlOverhead,
+	}
+	for i := range r.open {
+		r.open[i] = -1
+	}
+	ch.SetShadow(r)
+	return r
+}
+
+// Access implements dram.Shadow.
+func (r *RefDRAM) Access(a addr.HPA, write bool, refreshes uint64, res dram.Result) {
+	r.h.Decision()
+	if refreshes != r.seen {
+		// A refresh window closed every row.
+		for i := range r.open {
+			r.open[i] = -1
+		}
+		r.seen = refreshes
+	}
+	line := uint64(a) / addr.CacheLineSize
+	upper := line / r.rowLines
+	bank := upper % r.banks
+	row := upper / r.banks
+	if int(bank) != res.Bank || row != res.Row {
+		r.h.Reportf("dram %s: address %#x decomposed to bank %d row %#x, reference bank %d row %#x",
+			r.name, uint64(a), res.Bank, res.Row, bank, row)
+		return
+	}
+	var hit bool
+	var floor uint64
+	switch {
+	case r.open[bank] == int64(row):
+		hit, floor = true, r.hitLat
+	case r.open[bank] < 0:
+		hit, floor = false, r.missLat
+	default:
+		hit, floor = false, r.conflLat
+	}
+	if hit != res.RowBufferHit {
+		r.h.Reportf("dram %s: access %#x (bank %d row %#x) production rowhit=%v, reference rowhit=%v",
+			r.name, uint64(a), bank, row, res.RowBufferHit, hit)
+	}
+	if res.Latency < floor {
+		r.h.Reportf("dram %s: access %#x latency %d below the %d-cycle floor for its classification",
+			r.name, uint64(a), res.Latency, floor)
+	}
+	r.open[bank] = int64(row)
+}

@@ -58,6 +58,19 @@ func (c Config) Validate() error {
 // setBytes returns the byte span of one set.
 func (c Config) setBytes() uint64 { return uint64(c.Ways) * EntryBytes }
 
+// Shadow observes every partition mutation in program order. The
+// differential oracle (internal/oracle) attaches one per partition and
+// replays each operation against an independent way-mirroring 2-bit LRU
+// model, flagging any disagreement in hit/miss outcome, victim choice,
+// or set placement.
+type Shadow interface {
+	Search(vm addr.VMID, pid addr.PID, va addr.VA, hit bool, e Entry)
+	Insert(e Entry, victim Entry, evicted bool)
+	InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, found bool)
+	InvalidateProcess(vm addr.VMID, pid addr.PID, n int)
+	InvalidateVM(vm addr.VMID, n int)
+}
+
 // Partition is one of the two physically-partitioned structures
 // (POM_TLB_Small or POM_TLB_Large): a set-associative array of complete
 // translations, mapped at a contiguous physical address range so its sets
@@ -72,7 +85,11 @@ type Partition struct {
 	lookups  stats.HitMiss
 	inserts  uint64
 	count    int
+	shadow   Shadow
 }
+
+// SetShadow attaches (or, with nil, detaches) a lockstep observer.
+func (p *Partition) SetShadow(s Shadow) { p.shadow = s }
 
 // newPartition carves numSets sets out of the address range at base.
 func newPartition(size addr.PageSize, base uint64, bytes uint64, ways int) *Partition {
@@ -176,10 +193,16 @@ func (p *Partition) Search(vm addr.VMID, pid addr.PID, va addr.VA) (Entry, bool)
 		if set[i].matches(vm, pid, vpn) {
 			ageAllExcept(set, i)
 			p.lookups.Hit()
+			if p.shadow != nil {
+				p.shadow.Search(vm, pid, va, true, set[i])
+			}
 			return set[i], true
 		}
 	}
 	p.lookups.Miss()
+	if p.shadow != nil {
+		p.shadow.Search(vm, pid, va, false, Entry{})
+	}
 	return Entry{}, false
 }
 
@@ -197,6 +220,9 @@ func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
 			set[i].PFN = e.PFN
 			set[i].Attr = e.Attr
 			ageAllExcept(set, i)
+			if p.shadow != nil {
+				p.shadow.Insert(e, Entry{}, false)
+			}
 			return Entry{}, false
 		}
 		if !set[i].Valid {
@@ -217,20 +243,28 @@ func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
 	set[vi] = e
 	ageAllExcept(set, vi)
 	p.inserts++
+	if p.shadow != nil {
+		p.shadow.Insert(e, victim, evicted)
+	}
 	return victim, evicted
 }
 
 // InvalidatePage removes one translation (shootdown).
 func (p *Partition) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64) bool {
 	set := p.sets[p.setIndexForVPN(vpn, vm)]
+	found := false
 	for i := range set {
 		if set[i].matches(vm, pid, vpn) {
 			set[i] = Entry{}
 			p.count--
-			return true
+			found = true
+			break
 		}
 	}
-	return false
+	if p.shadow != nil {
+		p.shadow.InvalidatePage(vm, pid, vpn, found)
+	}
+	return found
 }
 
 // InvalidateProcess removes every entry of (vm, pid), returning the count
@@ -245,6 +279,9 @@ func (p *Partition) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
 				n++
 			}
 		}
+	}
+	if p.shadow != nil {
+		p.shadow.InvalidateProcess(vm, pid, n)
 	}
 	return n
 }
@@ -261,7 +298,51 @@ func (p *Partition) InvalidateVM(vm addr.VMID) int {
 			}
 		}
 	}
+	if p.shadow != nil {
+		p.shadow.InvalidateVM(vm, n)
+	}
 	return n
+}
+
+// CheckInvariants validates the partition's structural invariants: every
+// valid entry sits in the set its (VPN, VM) index to, carries the
+// partition's page size, has in-range 2-bit LRU state, no (vm, pid, vpn)
+// key appears twice, and the resident count matches a full recount.
+// Returns the first violation found, or nil.
+func (p *Partition) CheckInvariants() error {
+	type key struct {
+		vm  addr.VMID
+		pid addr.PID
+		vpn uint64
+	}
+	seen := make(map[key]uint64, p.count)
+	n := 0
+	for si, set := range p.sets {
+		for wi, e := range set {
+			if !e.Valid {
+				continue
+			}
+			n++
+			if e.Size != p.PageSize {
+				return fmt.Errorf("pomtlb %s set %d way %d: entry size %s", p.PageSize, si, wi, e.Size)
+			}
+			if e.LRU > 3 {
+				return fmt.Errorf("pomtlb %s set %d way %d: LRU %d out of 2-bit range", p.PageSize, si, wi, e.LRU)
+			}
+			if want := p.setIndexForVPN(e.VPN, e.VM); want != uint64(si) {
+				return fmt.Errorf("pomtlb %s set %d way %d: vpn %#x indexes to set %d", p.PageSize, si, wi, e.VPN, want)
+			}
+			k := key{e.VM, e.PID, e.VPN}
+			if prev, dup := seen[k]; dup {
+				return fmt.Errorf("pomtlb %s set %d: duplicate key %+v (also in set %d)", p.PageSize, si, k, prev)
+			}
+			seen[k] = uint64(si)
+		}
+	}
+	if n != p.count {
+		return fmt.Errorf("pomtlb %s: resident count %d but recount %d", p.PageSize, p.count, n)
+	}
+	return nil
 }
 
 // Stats returns the associative-search hit/miss counters.
@@ -357,6 +438,21 @@ func (t *TLB) AccessDRAM(now uint64, setAddr addr.HPA, lines int, write bool) dr
 
 // DRAMStats exposes the channel counters (Figure 11's row-buffer hits).
 func (t *TLB) DRAMStats() dram.Stats { return t.channel.Stats() }
+
+// DRAMChannel exposes the dedicated die-stacked channel so the
+// self-check harness can attach a dram.Shadow to it.
+func (t *TLB) DRAMChannel() *dram.Channel { return t.channel }
+
+// CheckInvariants validates both partitions and the backing channel.
+func (t *TLB) CheckInvariants() error {
+	if err := t.Small.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := t.Large.CheckInvariants(); err != nil {
+		return err
+	}
+	return t.channel.CheckInvariants()
+}
 
 // ResetStats clears partition and channel counters; contents and bank
 // state are untouched.

@@ -64,6 +64,17 @@ func (h HitMiss) String() string {
 	return fmt.Sprintf("%d/%d (%.2f%%)", h.Hits, h.Total(), 100*h.Ratio())
 }
 
+// CheckConservation verifies the hits + misses = total identity against an
+// externally-known access count — the basic conservation law every counter
+// in the simulator must obey. name labels the counter in the error.
+func (h HitMiss) CheckConservation(name string, accesses uint64) error {
+	if h.Total() != accesses {
+		return fmt.Errorf("stats %s: hits %d + misses %d = %d, want %d accesses",
+			name, h.Hits, h.Misses, h.Total(), accesses)
+	}
+	return nil
+}
+
 // Mean accumulates a running mean without storing samples.
 type Mean struct {
 	Sum   float64

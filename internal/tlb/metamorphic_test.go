@@ -1,0 +1,52 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestHitRatioMonotoneInWays is the associativity metamorphic property:
+// with the set count held fixed, adding ways only adds capacity, and true
+// LRU within a set has the stack (inclusion) property — so the hit ratio
+// over any fixed reference stream must be non-decreasing in the way
+// count. A violation means replacement is not LRU (or indexing leaks
+// across sets).
+func TestHitRatioMonotoneInWays(t *testing.T) {
+	const sets = 16
+	// One skewed, seeded stream shared by every geometry: ~80% of
+	// references land in a hot quarter of the page pool, like a real
+	// workload's locality.
+	rng := rand.New(rand.NewSource(42))
+	const pages = 4 * sets // 4 pages per set on average
+	stream := make([]addr.VA, 60_000)
+	for i := range stream {
+		p := rng.Intn(pages)
+		if rng.Intn(10) < 8 {
+			p = rng.Intn(pages / 4)
+		}
+		stream[i] = addr.VA(uint64(p) << addr.Shift4K)
+	}
+	prev := -1.0
+	for _, ways := range []int{1, 2, 4, 8} {
+		tl := MustNew(Config{Name: "meta", Entries: sets * ways, Ways: ways})
+		for _, va := range stream {
+			if _, ok := tl.Lookup(1, 1, va); !ok {
+				tl.Insert(Entry{VM: 1, PID: 1, VPN: va.VPN(addr.Page4K),
+					PFN: uint64(va) >> addr.Shift4K, Size: addr.Page4K, Valid: true})
+			}
+		}
+		ratio := tl.Stats().Ratio()
+		if ratio < prev {
+			t.Errorf("hit ratio fell from %.4f to %.4f going to %d ways", prev, ratio, ways)
+		}
+		prev = ratio
+		if err := tl.CheckInvariants(); err != nil {
+			t.Errorf("%d ways: %v", ways, err)
+		}
+	}
+	if prev <= 0 {
+		t.Fatal("stream produced no hits at the largest geometry; property vacuous")
+	}
+}

@@ -88,6 +88,29 @@ func SharedL2(cores int) Config {
 	}
 }
 
+// Shadow observes every decision the TLB makes, in program order. The
+// differential oracle (internal/oracle) attaches one per TLB and replays
+// each operation against an independent map+LRU-list reference model,
+// flagging any disagreement in hit/miss outcome, returned entry or
+// eviction choice. A nil shadow costs one branch per operation.
+type Shadow interface {
+	// LookupSize reports one single-size probe: the production outcome
+	// (hit and, on a hit, the entry) for (vm, pid, va) at size.
+	LookupSize(vm addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize, hit bool, e Entry)
+	// Insert reports one insertion and the production eviction decision.
+	Insert(e Entry, victim Entry, evicted bool)
+	// InvalidatePage reports a single-page shootdown and whether the page
+	// was present.
+	InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize, found bool)
+	// InvalidateProcess reports a process flush and how many entries the
+	// production model dropped.
+	InvalidateProcess(vm addr.VMID, pid addr.PID, n int)
+	// InvalidateVM reports a VM flush and how many entries were dropped.
+	InvalidateVM(vm addr.VMID, n int)
+	// InvalidateAll reports a full flush.
+	InvalidateAll()
+}
+
 // slot is one TLB way.
 type slot struct {
 	entry Entry
@@ -103,6 +126,7 @@ type TLB struct {
 	setMask uint64
 	clock   uint64
 	stats   stats.HitMiss
+	shadow  Shadow
 }
 
 // New creates a TLB, reporting configuration errors.
@@ -132,6 +156,9 @@ func MustNew(cfg Config) *TLB {
 // Config returns the TLB's configuration.
 func (t *TLB) Config() Config { return t.cfg }
 
+// SetShadow attaches (or, with nil, detaches) a lockstep observer.
+func (t *TLB) SetShadow(s Shadow) { t.shadow = s }
+
 // Latency returns the lookup latency in cycles.
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }
 
@@ -146,8 +173,14 @@ func (t *TLB) lookupSize(vm addr.VMID, pid addr.PID, va addr.VA, size addr.PageS
 		if set[i].entry.matches(vm, pid, vpn, size) {
 			t.clock++
 			set[i].lru = t.clock
+			if t.shadow != nil {
+				t.shadow.LookupSize(vm, pid, va, size, true, set[i].entry)
+			}
 			return set[i].entry, true
 		}
+	}
+	if t.shadow != nil {
+		t.shadow.LookupSize(vm, pid, va, size, false, Entry{})
 	}
 	return Entry{}, false
 }
@@ -191,19 +224,27 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	}
 	t.clock++
 	set := t.setFor(e.VPN)
-	vi := 0
+	// Scan the whole set for a match before choosing a victim: stopping
+	// the search at an invalid way would miss a matching entry beyond it
+	// and install a duplicate.
 	for i := range set {
 		s := &set[i]
 		if s.entry.matches(e.VM, e.PID, e.VPN, e.Size) {
 			s.entry = e // refresh (PFN may have changed after remap)
 			s.lru = t.clock
+			if t.shadow != nil {
+				t.shadow.Insert(e, Entry{}, false)
+			}
 			return Entry{}, false
 		}
-		if !s.entry.Valid {
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].entry.Valid {
 			vi = i
 			break
 		}
-		if s.lru < set[vi].lru {
+		if set[i].lru < set[vi].lru {
 			vi = i
 		}
 	}
@@ -213,19 +254,27 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	}
 	s.entry = e
 	s.lru = t.clock
+	if t.shadow != nil {
+		t.shadow.Insert(e, victim, evicted)
+	}
 	return victim, evicted
 }
 
 // InvalidatePage drops one translation (TLB shootdown of a single page).
 func (t *TLB) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize) bool {
+	found := false
 	set := t.sets[vpn&t.setMask]
 	for i := range set {
 		if set[i].entry.matches(vm, pid, vpn, size) {
 			set[i] = slot{}
-			return true
+			found = true
+			break
 		}
 	}
-	return false
+	if t.shadow != nil {
+		t.shadow.InvalidatePage(vm, pid, vpn, size, found)
+	}
+	return found
 }
 
 // InvalidateVM drops every translation belonging to a VM (VM teardown) and
@@ -239,6 +288,9 @@ func (t *TLB) InvalidateVM(vm addr.VMID) int {
 				n++
 			}
 		}
+	}
+	if t.shadow != nil {
+		t.shadow.InvalidateVM(vm, n)
 	}
 	return n
 }
@@ -256,6 +308,9 @@ func (t *TLB) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
 			}
 		}
 	}
+	if t.shadow != nil {
+		t.shadow.InvalidateProcess(vm, pid, n)
+	}
 	return n
 }
 
@@ -265,6 +320,9 @@ func (t *TLB) InvalidateAll() {
 		for i := range set {
 			set[i] = slot{}
 		}
+	}
+	if t.shadow != nil {
+		t.shadow.InvalidateAll()
 	}
 }
 
@@ -279,6 +337,51 @@ func (t *TLB) Count() int {
 		}
 	}
 	return n
+}
+
+// CheckInvariants validates the TLB's internal structural invariants:
+// every valid entry resides in the set its VPN indexes, LRU stamps are
+// unique within a set and never ahead of the TLB clock (the LRU stack
+// property), and no translation is duplicated anywhere in the structure.
+// It returns the first violation found, or nil.
+func (t *TLB) CheckInvariants() error {
+	type key struct {
+		vm   addr.VMID
+		pid  addr.PID
+		vpn  uint64
+		size addr.PageSize
+	}
+	seen := make(map[key]uint64, t.cfg.Entries)
+	for si, set := range t.sets {
+		stamps := make(map[uint64]int, len(set))
+		for wi := range set {
+			e := set[wi].entry
+			if !e.Valid {
+				continue
+			}
+			if want := e.VPN & t.setMask; want != uint64(si) {
+				return fmt.Errorf("tlb %q: entry %v resident in set %d, its VPN indexes set %d",
+					t.cfg.Name, e, si, want)
+			}
+			lru := set[wi].lru
+			if lru > t.clock {
+				return fmt.Errorf("tlb %q: set %d way %d LRU stamp %d ahead of clock %d",
+					t.cfg.Name, si, wi, lru, t.clock)
+			}
+			if prev, dup := stamps[lru]; dup {
+				return fmt.Errorf("tlb %q: set %d ways %d and %d share LRU stamp %d",
+					t.cfg.Name, si, prev, wi, lru)
+			}
+			stamps[lru] = wi
+			k := key{e.VM, e.PID, e.VPN, e.Size}
+			if prev, dup := seen[k]; dup {
+				return fmt.Errorf("tlb %q: %v duplicated in sets %d and %d",
+					t.cfg.Name, e, prev, si)
+			}
+			seen[k] = uint64(si)
+		}
+	}
+	return nil
 }
 
 // Stats returns the hit/miss counters.

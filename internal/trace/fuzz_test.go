@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// FuzzRecordCodec fuzzes the 16-byte record packing: every field must
+// survive a Writer→Reader round trip (page size collapses to the two
+// sizes the format encodes).
+func FuzzRecordCodec(f *testing.F) {
+	f.Add(uint64(0), uint32(0), false, uint8(0), false)
+	f.Add(uint64(1)<<47, uint32(1<<31), true, uint8(255), true)
+	f.Add(uint64(0xdead_beef_f000), uint32(17), true, uint8(3), false)
+	f.Fuzz(func(t *testing.T, va uint64, gap uint32, write bool, thread uint8, large bool) {
+		size := addr.Page4K
+		if large {
+			size = addr.Page2M
+		}
+		rec := Record{VA: addr.VA(va), Gap: gap, Write: write, Thread: thread, Size: size}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: %+v -> %+v", rec, got)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("trailing read = %v, want EOF", err)
+		}
+	})
+}
+
+// FuzzReader fuzzes the binary trace reader against arbitrary byte
+// streams: it must never panic, must reject non-magic headers, and on a
+// valid header must hand back only whole records and then a clean EOF —
+// truncated trailing bytes must not surface as a phantom record.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("POMTRC01"))
+	f.Add([]byte("POMTRC99extra"))
+	valid := append([]byte("POMTRC01"), make([]byte, 2*recordBytes)...)
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), 1, 2, 3)) // truncated third record
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if len(data) >= 8 && bytes.Equal(data[:8], magic[:]) {
+				t.Fatalf("valid header rejected: %v", err)
+			}
+			return
+		}
+		if len(data) < 8 || !bytes.Equal(data[:8], magic[:]) {
+			t.Fatal("bad header accepted")
+		}
+		n := 0
+		for {
+			if _, err := r.Read(); err != nil {
+				if err != io.EOF {
+					t.Fatalf("read error beyond EOF: %v", err)
+				}
+				break
+			}
+			n++
+			if n > len(data) { // cannot yield more records than bytes
+				t.Fatal("reader yields records forever")
+			}
+		}
+		if want := (len(data) - 8) / recordBytes; n != want {
+			t.Fatalf("decoded %d records from %d payload bytes, want %d", n, len(data)-8, want)
+		}
+	})
+}
