@@ -1,4 +1,5 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and
+// runs design-space sweeps over the workload × scheme × geometry grid.
 //
 // Usage:
 //
@@ -9,6 +10,17 @@
 //	experiments -quick -fig 8             # short traces, 2 cores
 //	experiments -all -checkpoint c.json   # journal completed cells
 //	experiments -all -checkpoint c.json -resume   # skip journaled cells
+//
+//	experiments -sweep 'schemes=pom-tlb,tsb:pom-mb=4,8,16:pom-ways=2,4' \
+//	    -shards 8 -retry-budget 64 -quarantine-after 3 \
+//	    -sweep-csv sweep.csv -manifest quarantine.json \
+//	    -checkpoint sweep.journal [-resume]
+//
+// Sweeps shard the grid over a work-stealing worker pool; every cell runs
+// inside the resilience envelope, failed cells are quarantined into the
+// -manifest instead of aborting the sweep, and the -checkpoint journal is
+// append-only and fsynced per cell, so even a SIGKILL mid-shard resumes
+// with exactly the missing cells.
 //
 // SIGINT/SIGTERM cancel the in-flight simulations; the command still
 // emits every completed row (and the checkpoint keeps every completed
@@ -23,10 +35,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/sweep"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -60,6 +77,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptPath  = fs.String("checkpoint", "", "journal completed (workload, scheme) cells to this JSON file")
 		resume    = fs.Bool("resume", false, "reuse cells already journaled in -checkpoint and run only the missing ones")
 		timeout   = fs.Duration("timeout", 0, "per-workload simulation deadline (0 = none), e.g. 90s")
+
+		sweepSpec  = fs.String("sweep", "", "run a design-space sweep over this grid, e.g. 'schemes=pom-tlb,tsb:pom-mb=4,8:pom-ways=2,4'")
+		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "sweep worker shards (work-stealing pool size)")
+		budget     = fs.Int("retry-budget", 64, "global retry budget shared by every sweep cell")
+		quarAfter  = fs.Int("quarantine-after", sweep.DefaultQuarantineAfter, "per-cell attempt cap before a sweep cell is quarantined")
+		sweepCSV   = fs.String("sweep-csv", "", "stream sweep results to this CSV file (default: stdout)")
+		manifest   = fs.String("manifest", "", "write the sweep quarantine manifest (JSON) to this file")
+		faultRate  = fs.Float64("fault-rate", 0, "chaos testing: per-cell probability of one injected transient failure")
+		faultPanic = fs.Float64("fault-panic-rate", 0, "chaos testing: per-cell probability of an injected panic on every attempt")
+		faultSeed  = fs.Uint64("fault-seed", 1, "seed for the deterministic chaos plan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +107,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-table %d: valid tables are 1 and 2", *table)
 	case *resume && *ckptPath == "":
 		return fmt.Errorf("-resume requires -checkpoint FILE")
+	case *shards <= 0:
+		return fmt.Errorf("-shards must be positive (got %d)", *shards)
+	case *budget <= 0:
+		return fmt.Errorf("-retry-budget must be positive (got %d)", *budget)
+	case *quarAfter < 1:
+		return fmt.Errorf("-quarantine-after must be at least 1 (got %d)", *quarAfter)
+	case *faultRate < 0 || *faultRate > 1:
+		return fmt.Errorf("-fault-rate must be in [0, 1] (got %g)", *faultRate)
+	case *faultPanic < 0 || *faultPanic > 1:
+		return fmt.Errorf("-fault-panic-rate must be in [0, 1] (got %g)", *faultPanic)
+	case *sweepSpec != "" && (*all || *fig != 0 || *table != 0 || *report != "" || *csvDir != ""):
+		return fmt.Errorf("-sweep cannot be combined with -all/-fig/-table/-report/-csv")
+	case *sweepSpec == "" && (*faultRate > 0 || *faultPanic > 0):
+		return fmt.Errorf("-fault-rate/-fault-panic-rate require -sweep")
+	case *sweepSpec == "" && (*sweepCSV != "" || *manifest != ""):
+		return fmt.Errorf("-sweep-csv/-manifest require -sweep")
 	}
 
 	opts := experiments.DefaultOptions()
@@ -98,6 +141,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	opts.WorkloadTimeout = *timeout
+
+	if *sweepSpec != "" {
+		return runSweep(ctx, out, opts, sweepFlags{
+			spec:            *sweepSpec,
+			shards:          *shards,
+			retryBudget:     *budget,
+			quarantineAfter: *quarAfter,
+			csvPath:         *sweepCSV,
+			manifestPath:    *manifest,
+			journalPath:     *ckptPath,
+			resume:          *resume,
+			cellTimeout:     *timeout,
+			faultRate:       *faultRate,
+			faultPanicRate:  *faultPanic,
+			faultSeed:       *faultSeed,
+		})
+	}
+
 	if *ckptPath != "" {
 		if !*resume {
 			if _, err := os.Stat(*ckptPath); err == nil {
@@ -214,6 +275,150 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return describeDegraded(out, err)
 	default:
 		return fmt.Errorf("nothing to do: pass -all, -fig N, -table N or -report FILE")
+	}
+	return nil
+}
+
+// sweepFlags carries the validated -sweep command line into runSweep.
+type sweepFlags struct {
+	spec            string
+	shards          int
+	retryBudget     int
+	quarantineAfter int
+	csvPath         string
+	manifestPath    string
+	journalPath     string
+	resume          bool
+	cellTimeout     time.Duration
+	faultRate       float64
+	faultPanicRate  float64
+	faultSeed       uint64
+}
+
+// runSweep drives one design-space sweep: parse the grid, open (or
+// resume) the append-only journal, optionally seed the chaos plan, run
+// the sharded engine, then emit the CSV, the quarantine manifest, and a
+// one-line summary. A sweep with quarantined cells still emits
+// everything and then exits non-zero, so automation notices the
+// degradation without losing the completed grid.
+func runSweep(ctx context.Context, out io.Writer, opts experiments.Options, f sweepFlags) error {
+	spec, err := sweep.ParseSpec(f.spec)
+	if err != nil {
+		return err
+	}
+	cfg := sweep.Config{
+		Base:            opts,
+		Spec:            spec,
+		Shards:          f.shards,
+		RetryBudget:     f.retryBudget,
+		QuarantineAfter: f.quarantineAfter,
+		CellTimeout:     f.cellTimeout,
+	}
+
+	names := opts.Workloads
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	if f.faultRate > 0 || f.faultPanicRate > 0 {
+		s := faultinject.NewSchedule()
+		plan := sweep.SeedChaos(s, spec.Cells(names), f.faultPanicRate, f.faultRate, f.faultSeed)
+		cfg.Faults = s
+		fmt.Fprintf(out, "chaos plan (seed %d): %d cell(s) panic, %d flaky\n",
+			f.faultSeed, len(plan.Panicked), len(plan.Flaky))
+	}
+
+	if f.journalPath != "" {
+		if !f.resume {
+			if _, err := os.Stat(f.journalPath); err == nil {
+				return fmt.Errorf("sweep journal %s already exists; pass -resume to continue it or remove the file", f.journalPath)
+			}
+		}
+		j, err := experiments.OpenSweepJournal(f.journalPath, experiments.SweepFingerprint(opts, spec.Canonical()))
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.TruncatedRecords(); n > 0 {
+			fmt.Fprintf(out, "journal %s: dropped %d torn trailing record(s) left by an interrupted append\n", f.journalPath, n)
+		}
+		if f.resume && j.Len() > 0 {
+			fmt.Fprintf(out, "resuming: %d cell(s) already journaled in %s\n", j.Len(), f.journalPath)
+		}
+		cfg.Journal = j
+	}
+
+	// The CSV streams to a temp file renamed into place only when the
+	// sweep ran to completion: a killed run leaves no half-written
+	// sweep.csv, and the journal already preserves every finished cell
+	// for the resume to replay.
+	var tmp *os.File
+	if f.csvPath != "" {
+		tmp, err = os.CreateTemp(filepath.Dir(f.csvPath), filepath.Base(f.csvPath)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if tmp != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+		}()
+		cfg.CSV = tmp
+		cfg.Progress = out
+	} else {
+		cfg.CSV = out
+	}
+
+	rep, runErr := sweep.Run(ctx, cfg)
+	if rep == nil {
+		return runErr
+	}
+	if tmp != nil && runErr == nil {
+		name := tmp.Name()
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(name, f.csvPath); err != nil {
+			return err
+		}
+		tmp = nil
+		fmt.Fprintf(out, "wrote %s (%d row(s))\n", f.csvPath, rep.Completed)
+	}
+
+	budgetLeft := "unlimited"
+	if rep.BudgetRemaining >= 0 {
+		budgetLeft = fmt.Sprintf("%d left", rep.BudgetRemaining)
+	}
+	fmt.Fprintf(out, "sweep: %d/%d cell(s) completed (%d from journal, %d retried, %d quarantined, retry budget %s)\n",
+		rep.Completed, rep.Total, rep.FromJournal, rep.Retried, len(rep.Quarantined), budgetLeft)
+
+	if f.manifestPath != "" {
+		mf, err := os.Create(f.manifestPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteManifest(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote quarantine manifest %s\n", f.manifestPath)
+	} else if len(rep.Quarantined) > 0 && runErr == nil {
+		if err := rep.WriteManifest(out); err != nil {
+			return err
+		}
+	}
+
+	if runErr != nil {
+		return runErr
+	}
+	if n := len(rep.Quarantined); n > 0 {
+		return fmt.Errorf("sweep degraded: %d of %d cell(s) quarantined (the rest completed; see the manifest)", n, rep.Total)
 	}
 	return nil
 }

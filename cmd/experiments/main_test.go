@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +45,100 @@ func TestNoArgsErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run(context.Background(), nil, &sb); err == nil {
 		t.Error("no action should error")
+	}
+}
+
+func TestSweepFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"shards":           {"-sweep", "schemes=pom-tlb", "-shards", "0"},
+		"negative shards":  {"-sweep", "schemes=pom-tlb", "-shards", "-4"},
+		"retry budget":     {"-sweep", "schemes=pom-tlb", "-retry-budget", "0"},
+		"quarantine":       {"-sweep", "schemes=pom-tlb", "-quarantine-after", "0"},
+		"fault rate":       {"-sweep", "schemes=pom-tlb", "-fault-rate", "1.5"},
+		"panic rate":       {"-sweep", "schemes=pom-tlb", "-fault-panic-rate", "-0.1"},
+		"sweep+fig":        {"-sweep", "schemes=pom-tlb", "-fig", "8"},
+		"faults w/o sweep": {"-fault-rate", "0.5"},
+		"csv w/o sweep":    {"-sweep-csv", "x.csv"},
+		"bad spec":         {"-sweep", "pom-mb="},
+		"resume w/o ckpt":  {"-sweep", "schemes=pom-tlb", "-resume"},
+	}
+	for name, args := range cases {
+		var sb strings.Builder
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("%s: args %v accepted, want error", name, args)
+		}
+	}
+}
+
+func TestSweepRunAndResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal")
+	csvPath := filepath.Join(dir, "sweep.csv")
+	args := quickArgs("-sweep", "schemes=pom-tlb,shared-l2:pom-mb=1,2",
+		"-checkpoint", journal, "-sweep-csv", csvPath, "-shards", "2")
+
+	var sb strings.Builder
+	if err := run(context.Background(), args, &sb); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, sb.String())
+	}
+	csv1, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(csv1), "\n"); got != 9 { // header + 2 wl × 2 schemes × 2 sizes
+		t.Fatalf("sweep CSV has %d lines, want 9:\n%s", got, csv1)
+	}
+
+	// Without -resume an existing journal must be refused.
+	sb.Reset()
+	if err := run(context.Background(), args, &sb); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("existing journal not refused: %v", err)
+	}
+
+	// With -resume every cell is served from the journal and the CSV is
+	// reproduced byte for byte.
+	sb.Reset()
+	if err := run(context.Background(), append(args, "-resume"), &sb); err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "8 from journal") {
+		t.Errorf("resume did not serve cells from the journal:\n%s", sb.String())
+	}
+	csv2, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(csv1) != string(csv2) {
+		t.Error("resumed CSV differs from the original run")
+	}
+
+	// A resume whose grid does not match the journal's fingerprint must
+	// be refused with a clear error.
+	sb.Reset()
+	err = run(context.Background(), quickArgs("-sweep", "schemes=pom-tlb:pom-mb=1,2,4",
+		"-checkpoint", journal, "-resume"), &sb)
+	if err == nil || !strings.Contains(err.Error(), "different options or grid geometry") {
+		t.Fatalf("grid mismatch not refused: %v", err)
+	}
+}
+
+func TestSweepQuarantineManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "quarantine.json")
+	var sb strings.Builder
+	err := run(context.Background(), quickArgs("-sweep", "schemes=pom-tlb:pom-mb=1,2",
+		"-fault-panic-rate", "1", "-manifest", manifest), &sb)
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("fully panicking sweep must exit degraded, got: %v", err)
+	}
+	raw, rerr := os.ReadFile(manifest)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, want := range []string{`"quarantined"`, `"stack"`, "scheduled panic"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("manifest missing %q:\n%s", want, raw)
+		}
 	}
 }

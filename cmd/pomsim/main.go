@@ -3,6 +3,7 @@
 // Usage:
 //
 //	pomsim -workload mcf -mode pom-tlb -cores 8 -refs 500000
+//	pomsim -workload mcf -sweep 'schemes=pom-tlb,tsb:pom-mb=4,8,16'
 //	pomsim -config experiment.json
 //	pomsim -list
 //
@@ -18,10 +19,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/experiments/sweep"
 	"repro/internal/perfmodel"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -64,6 +68,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		compare  = fs.Bool("compare", false, "run every scheme on the workload and print a comparison")
 		selfchk  = fs.Bool("selfcheck", false, "run the differential-verification matrix (workloads × schemes under lockstep reference models) and exit non-zero on any divergence")
 		list     = fs.Bool("list", false, "list workloads and exit")
+
+		sweepSpec = fs.String("sweep", "", "sweep the workload over this geometry grid, e.g. 'schemes=pom-tlb,tsb:pom-mb=4,8,16:pom-ways=2,4'")
+		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "sweep worker shards (work-stealing pool size)")
+		budget    = fs.Int("retry-budget", 16, "global retry budget shared by every sweep cell")
+		quarAfter = fs.Int("quarantine-after", sweep.DefaultQuarantineAfter, "per-cell attempt cap before a sweep cell is quarantined")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +92,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-warmup must be non-negative (got %d)", *warmup)
 	case *pomMB == 0:
 		return fmt.Errorf("-pom-mb must be positive")
+	case *shards <= 0:
+		return fmt.Errorf("-shards must be positive (got %d)", *shards)
+	case *budget <= 0:
+		return fmt.Errorf("-retry-budget must be positive (got %d)", *budget)
+	case *quarAfter < 1:
+		return fmt.Errorf("-quarantine-after must be at least 1 (got %d)", *quarAfter)
+	case *sweepSpec != "" && (*compare || *selfchk || *trcPath != "" || *cfgPath != ""):
+		return fmt.Errorf("-sweep cannot be combined with -compare/-selfcheck/-trace/-config")
 	}
 	if *list {
 		for _, name := range workloads.Names() {
@@ -118,6 +135,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	p, ok := workloads.ByName(file.Workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q (try -list)", file.Workload)
+	}
+	if *sweepSpec != "" {
+		return runGeometrySweep(ctx, out, p, file.Config, *sweepSpec, *shards, *budget, *quarAfter)
 	}
 	if *selfchk {
 		return runSelfCheck(ctx, out, file.Config)
@@ -204,6 +224,58 @@ func printResult(out io.Writer, p workloads.Profile, res core.Result) {
 		}
 	}
 	fmt.Fprintln(out)
+}
+
+// runGeometrySweep runs one workload across the -sweep geometry grid on
+// the sharded sweep engine and prints the per-cell metrics as a table.
+// Quarantined cells are listed after the table and make the command exit
+// non-zero without suppressing the completed rows.
+func runGeometrySweep(ctx context.Context, out io.Writer, p workloads.Profile, cfg core.Config,
+	specStr string, shards, budget, quarAfter int) error {
+	spec, err := sweep.ParseSpec(specStr)
+	if err != nil {
+		return err
+	}
+	base := experiments.Options{
+		Cores:       cfg.Cores,
+		VMs:         cfg.VMs,
+		WarmupRefs:  cfg.WarmupRefs,
+		MaxRefs:     cfg.MaxRefs,
+		Seed:        cfg.Seed,
+		Virtualized: cfg.Virtualized,
+		Workloads:   []string{p.Name},
+	}
+	rep, runErr := sweep.Run(ctx, sweep.Config{
+		Base:            base,
+		Spec:            spec,
+		Shards:          shards,
+		RetryBudget:     budget,
+		QuarantineAfter: quarAfter,
+		Collect:         true,
+	})
+	if rep == nil {
+		return runErr
+	}
+
+	t := stats.NewTable("scheme", "variant", "P_avg", "walk elim", "L2 TLB hit", "IPC")
+	for _, r := range rep.Results {
+		t.AddRow(r.Cell.Mode.String(), r.Cell.Variant.Label(),
+			fmt.Sprintf("%.1f", r.Res.AvgPenalty()),
+			stats.Pct(r.Res.WalkEliminationRate()),
+			stats.Pct(r.Res.L2TLB.Ratio()),
+			fmt.Sprintf("%.3f", r.Res.IPC()))
+	}
+	fmt.Fprintf(out, "workload %s — %d-cell geometry sweep\n\n%s", p.Name, rep.Total, t.String())
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(out, "quarantined: %s after %d attempt(s): %s\n", q.Key, q.Attempts, q.Error)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if n := len(rep.Quarantined); n > 0 {
+		return fmt.Errorf("sweep degraded: %d of %d cell(s) quarantined", n, rep.Total)
+	}
+	return nil
 }
 
 // runComparison runs every translation scheme on one workload and prints

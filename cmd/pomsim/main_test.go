@@ -132,3 +132,38 @@ func TestRunCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGeometrySweep(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-workload", "gups", "-cores", "2",
+		"-refs", "4000", "-warmup", "4000",
+		"-sweep", "schemes=pom-tlb,tsb:pom-mb=4,16"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "4-cell geometry sweep") {
+		t.Errorf("sweep header missing:\n%s", out)
+	}
+	for _, want := range []string{"pom-tlb", "tsb", "pom-mb=4", "pom-mb=16", "P_avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"shards":        {"-sweep", "schemes=pom-tlb", "-shards", "0"},
+		"retry budget":  {"-sweep", "schemes=pom-tlb", "-retry-budget", "-1"},
+		"quarantine":    {"-sweep", "schemes=pom-tlb", "-quarantine-after", "0"},
+		"bad spec":      {"-sweep", "bogus-axis=1"},
+		"sweep+compare": {"-sweep", "schemes=pom-tlb", "-compare"},
+	}
+	for name, args := range cases {
+		var sb strings.Builder
+		if err := run(context.Background(), args, &sb); err == nil {
+			t.Errorf("%s: args %v accepted, want error", name, args)
+		}
+	}
+}

@@ -18,11 +18,17 @@ import (
 type WorkloadError struct {
 	Workload string
 	Mode     core.Mode
-	Err      error
+	// Variant is the geometry label of a design-space sweep cell
+	// ("pom-mb=4|pom-ways=2"); empty for plain figure-campaign cells.
+	Variant string
+	Err     error
 }
 
 // Error implements error.
 func (e *WorkloadError) Error() string {
+	if e.Variant != "" {
+		return fmt.Sprintf("workload %s/%s[%s]: %v", e.Workload, e.Mode, e.Variant, e.Err)
+	}
 	return fmt.Sprintf("workload %s/%s: %v", e.Workload, e.Mode, e.Err)
 }
 

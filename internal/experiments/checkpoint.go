@@ -86,6 +86,9 @@ func LoadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	if looksLikeSweepJournal(raw) {
+		return nil, fmt.Errorf("checkpoint %s is an append-only sweep journal, not a campaign checkpoint; resume it with -sweep and the original grid", path)
+	}
 	var p checkpointPayload
 	if err := json.Unmarshal(raw, &p); err != nil {
 		return nil, fmt.Errorf("checkpoint %s: corrupt journal: %w", path, err)
@@ -167,4 +170,397 @@ func (c *Checkpoint) Put(name string, mode core.Mode, res core.Result) error {
 		}
 		return os.Rename(tmp, c.path)
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Append-only sweep journal
+//
+// The campaign Checkpoint above rewrites one JSON document per completed
+// cell — fine for a 45-cell figure grid, pathological for a 10,000-cell
+// design-space sweep (O(n²) bytes rewritten, and a SIGKILL during the
+// rename window can lose the newest cell). The SweepJournal instead
+// appends one fsynced, hash-guarded record per cell:
+//
+//	<64-hex sha256 of payload> <payload JSON>\n
+//
+// The first record is a header carrying the sweep fingerprint (options +
+// grid geometry); every later record is either a completed cell with its
+// full Result or a quarantined cell with its captured error and stack. A
+// record is only trusted if its hash verifies, so a torn trailing write —
+// the fingerprint of a SIGKILL mid-append — is skipped and reported
+// instead of poisoning the resume, and the sweep re-runs exactly that
+// cell. Corruption anywhere *before* the tail cannot be explained by a
+// crash and fails the load.
+
+// SweepFingerprint identifies a sweep: the simulation-relevant campaign
+// options plus the canonical grid spec. A journal written under one grid
+// refuses to resume under another — cells are indexed by grid coordinates,
+// and mixing geometries would silently misattribute results.
+func SweepFingerprint(o Options, grid string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s", Fingerprint(o), grid)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// QuarantineInfo is the captured failure of a quarantined sweep cell.
+type QuarantineInfo struct {
+	// Attempts is how many times the cell ran before being quarantined.
+	Attempts int `json:"attempts"`
+	// Error is the final error's message.
+	Error string `json:"error"`
+	// Stack is the recovered panic stack, when the failure was a panic.
+	Stack string `json:"stack,omitempty"`
+	// BudgetExhausted marks a cell that was quarantined early because the
+	// sweep's global retry budget ran dry.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+}
+
+// sweepRecord is the on-disk payload of one journal line.
+type sweepRecord struct {
+	Kind        string          `json:"kind"` // "header", "done", "quarantined"
+	Version     int             `json:"version,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Key         string          `json:"key,omitempty"`
+	Result      *core.Result    `json:"result,omitempty"`
+	Quarantine  *QuarantineInfo `json:"quarantine,omitempty"`
+}
+
+// SweepJournal is the crash-safe cell journal of a design-space sweep.
+// All methods are safe for concurrent use by the sweep engine's workers;
+// a nil *SweepJournal is inert (sweeps without -checkpoint).
+type SweepJournal struct {
+	path string
+
+	mu          sync.Mutex
+	f           *os.File
+	done        map[string]core.Result
+	quarantined map[string]QuarantineInfo
+	truncated   int
+}
+
+// looksLikeSweepJournal reports whether raw begins with a hash-prefixed
+// journal line rather than a legacy JSON checkpoint document.
+func looksLikeSweepJournal(raw []byte) bool {
+	if len(raw) < 66 {
+		return false
+	}
+	for _, c := range raw[:64] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return raw[64] == ' '
+}
+
+// sweepLine renders one hash-guarded journal line for a payload.
+func sweepLine(rec sweepRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, 64+1+len(payload)+1)
+	line = append(line, fmt.Sprintf("%x", sha256.Sum256(payload))...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseSweepLine verifies and decodes one journal line.
+func parseSweepLine(line []byte) (sweepRecord, error) {
+	var rec sweepRecord
+	if len(line) < 66 || line[64] != ' ' {
+		return rec, fmt.Errorf("short or unframed record")
+	}
+	payload := line[65:]
+	if sum := fmt.Sprintf("%x", sha256.Sum256(payload)); sum != string(line[:64]) {
+		return rec, fmt.Errorf("integrity hash mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("corrupt payload: %w", err)
+	}
+	return rec, nil
+}
+
+// OpenSweepJournal opens (or creates) the append-only journal at path for
+// a sweep with the given fingerprint. A missing file is initialized with
+// a header record; an existing file is replayed record by record. A
+// record whose integrity hash fails verification is tolerated only at the
+// very end of the file — the torn tail of an interrupted append — and is
+// counted in TruncatedRecords; a bad record anywhere earlier, or a header
+// fingerprint that does not match, fails the open with a descriptive
+// error. The caller owns the returned journal and must Close it.
+func OpenSweepJournal(path, fingerprint string) (*SweepJournal, error) {
+	j := &SweepJournal{
+		path:        path,
+		done:        map[string]core.Result{},
+		quarantined: map[string]QuarantineInfo{},
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh journal: create with a fsynced header record.
+		return j, j.create(fingerprint)
+	case err != nil:
+		return nil, fmt.Errorf("sweep journal: %w", err)
+	}
+	if len(raw) > 0 && raw[0] == '{' {
+		return nil, fmt.Errorf("sweep journal %s looks like a legacy campaign checkpoint (whole-file JSON); sweeps need their own journal file", path)
+	}
+	validLen, err := j.replay(raw, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	if j.f != nil {
+		// replay recreated the file (torn header); it is already open.
+		return j, nil
+	}
+	if validLen < int64(len(raw)) {
+		// A torn tail was skipped. Truncate it away before appending:
+		// otherwise the next record would be glued onto the partial line
+		// and read back as mid-file corruption.
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, fmt.Errorf("sweep journal: dropping torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// create initializes a fresh journal file with its header.
+func (j *SweepJournal) create(fingerprint string) error {
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	line, err := sweepLine(sweepRecord{Kind: "header", Version: 1, Fingerprint: fingerprint})
+	if err == nil {
+		_, err = f.Write(line)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// journalLine is one physical line plus the file offset just past its
+// terminator (or past its last byte for an unterminated tail), so the
+// loader can truncate a torn tail away precisely.
+type journalLine struct {
+	data []byte
+	end  int64
+}
+
+// splitJournalLines splits raw on newlines, keeping a trailing partial
+// line (no terminator) so the torn-tail check sees it.
+func splitJournalLines(raw []byte) []journalLine {
+	var lines []journalLine
+	var off int64
+	for len(raw) > 0 {
+		i := 0
+		for i < len(raw) && raw[i] != '\n' {
+			i++
+		}
+		end := off + int64(i)
+		if i < len(raw) {
+			end++ // include the terminator
+		}
+		if i > 0 {
+			lines = append(lines, journalLine{data: raw[:i], end: end})
+		}
+		if i == len(raw) {
+			break
+		}
+		raw = raw[i+1:]
+		off = end
+	}
+	return lines
+}
+
+// replay loads an existing journal body, tolerating exactly one torn
+// record at the tail. It returns the byte offset of the end of the last
+// valid record, so the caller can truncate torn bytes before appending.
+func (j *SweepJournal) replay(raw []byte, fingerprint string) (int64, error) {
+	lines := splitJournalLines(raw)
+	if len(lines) == 0 {
+		// File exists but holds no complete record (torn header write):
+		// treat as fresh and recreate it with a proper header.
+		j.truncated++
+		return 0, j.create(fingerprint)
+	}
+	var validLen int64
+	for i, line := range lines {
+		rec, err := parseSweepLine(line.data)
+		if err != nil {
+			if i == len(lines)-1 {
+				// Torn tail: the record being appended when the process
+				// died. The cell it described was never acknowledged, so
+				// skipping it is exactly "resume with the missing cells".
+				j.truncated++
+				if i == 0 {
+					// The torn record was the header itself; recreate the
+					// journal so appends land after a valid header.
+					return 0, j.create(fingerprint)
+				}
+				return validLen, nil
+			}
+			return 0, fmt.Errorf("sweep journal %s: record %d: %v (corruption before the tail cannot come from a torn append; refusing to resume)", j.path, i+1, err)
+		}
+		if i == 0 {
+			if rec.Kind != "header" {
+				return 0, fmt.Errorf("sweep journal %s: first record is %q, want header", j.path, rec.Kind)
+			}
+			if rec.Fingerprint != fingerprint {
+				return 0, fmt.Errorf("sweep journal %s was written by a sweep with different options or grid geometry; delete it or rerun with the original flags", j.path)
+			}
+			validLen = line.end
+			continue
+		}
+		switch rec.Kind {
+		case "done":
+			if rec.Result != nil {
+				j.done[rec.Key] = *rec.Result
+				delete(j.quarantined, rec.Key)
+			}
+		case "quarantined":
+			if rec.Quarantine != nil {
+				j.quarantined[rec.Key] = *rec.Quarantine
+			}
+		default:
+			return 0, fmt.Errorf("sweep journal %s: record %d has unknown kind %q", j.path, i+1, rec.Kind)
+		}
+		validLen = line.end
+	}
+	return validLen, nil
+}
+
+// append writes one record to the journal and fsyncs it. Appends are not
+// blindly retried: a failed write may have landed partial bytes, and a
+// retry after that would stack a valid record on a torn one mid-file,
+// which the loader correctly refuses.
+func (j *SweepJournal) append(rec sweepRecord) error {
+	line, err := sweepLine(rec)
+	if err != nil {
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	return nil
+}
+
+// PutDone journals one completed cell.
+func (j *SweepJournal) PutDone(key string, res core.Result) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(sweepRecord{Kind: "done", Key: key, Result: &res}); err != nil {
+		return err
+	}
+	j.done[key] = res
+	delete(j.quarantined, key)
+	return nil
+}
+
+// PutQuarantined journals one quarantined cell with its captured failure.
+func (j *SweepJournal) PutQuarantined(key string, q QuarantineInfo) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(sweepRecord{Kind: "quarantined", Key: key, Quarantine: &q}); err != nil {
+		return err
+	}
+	j.quarantined[key] = q
+	return nil
+}
+
+// Done returns the journaled result for a completed cell, if present.
+func (j *SweepJournal) Done(key string) (core.Result, bool) {
+	if j == nil {
+		return core.Result{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.done[key]
+	return res, ok
+}
+
+// Quarantined returns the journaled quarantine record for a cell.
+func (j *SweepJournal) Quarantined(key string) (QuarantineInfo, bool) {
+	if j == nil {
+		return QuarantineInfo{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q, ok := j.quarantined[key]
+	return q, ok
+}
+
+// Len returns the number of journaled cells (completed + quarantined).
+func (j *SweepJournal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done) + len(j.quarantined)
+}
+
+// DoneLen returns the number of journaled completed cells.
+func (j *SweepJournal) DoneLen() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// TruncatedRecords reports how many torn tail records were skipped when
+// the journal was opened — 0 for a cleanly closed journal, 1 after a
+// SIGKILL mid-append.
+func (j *SweepJournal) TruncatedRecords() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.truncated
+}
+
+// Path returns the journal's file path.
+func (j *SweepJournal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close releases the journal's file handle. Records already appended are
+// durable regardless — each one was fsynced.
+func (j *SweepJournal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.f.Close()
+	j.f = nil
+	return err
 }

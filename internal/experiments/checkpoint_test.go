@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -110,5 +111,231 @@ func TestRunnerServesCheckpointedCells(t *testing.T) {
 	}
 	if got.Records != 7 {
 		t.Errorf("runner re-simulated a checkpointed cell: Records=%d", got.Records)
+	}
+}
+
+// --- sweep journal ---
+
+func sweepFP(t *testing.T) string {
+	t.Helper()
+	return SweepFingerprint(quick(), "pom-mb=1,2:pom-ways=2")
+}
+
+func TestSweepJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	fp := sweepFP(t)
+	j, err := OpenSweepJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Result{Workload: "gups", Mode: core.POMTLB, Records: 42, PenaltyCycles: 7}
+	if err := j.PutDone("gups|pom-tlb|pom-mb=1", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.PutQuarantined("mcf|tsb|pom-mb=2", QuarantineInfo{Attempts: 3, Error: "boom", Stack: "stack..."}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSweepJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.TruncatedRecords() != 0 {
+		t.Errorf("clean journal reports %d truncated records", re.TruncatedRecords())
+	}
+	got, ok := re.Done("gups|pom-tlb|pom-mb=1")
+	if !ok || got.Records != 42 || got.PenaltyCycles != 7 {
+		t.Errorf("done cell lost or corrupted: %v %+v", ok, got)
+	}
+	q, ok := re.Quarantined("mcf|tsb|pom-mb=2")
+	if !ok || q.Attempts != 3 || q.Error != "boom" {
+		t.Errorf("quarantine record lost: %v %+v", ok, q)
+	}
+	if re.Len() != 2 || re.DoneLen() != 1 {
+		t.Errorf("Len=%d DoneLen=%d, want 2/1", re.Len(), re.DoneLen())
+	}
+}
+
+func TestSweepJournalSkipsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	fp := sweepFP(t)
+	j, err := OpenSweepJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.PutDone("gups|pom-tlb|", core.Result{Records: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a SIGKILL mid-append: a partial record with no newline and
+	// a hash that cannot verify.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(strings.Repeat("ab", 32) + ` {"kind":"done","key":"mcf|po`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenSweepJournal(path, fp)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the load: %v", err)
+	}
+	defer re.Close()
+	if re.TruncatedRecords() != 1 {
+		t.Errorf("TruncatedRecords = %d, want 1", re.TruncatedRecords())
+	}
+	if _, ok := re.Done("gups|pom-tlb|"); !ok {
+		t.Error("completed cell before the torn tail was lost")
+	}
+	if re.Len() != 1 {
+		t.Errorf("Len = %d, want 1", re.Len())
+	}
+
+	// The journal must still be appendable after a torn-tail recovery, and
+	// the appended record must survive a reload even though it follows the
+	// torn bytes... the torn line has no newline, so the next append starts
+	// mid-line; reopening must still refuse nothing before the tail.
+	if err := re.PutDone("astar|tsb|", core.Result{Records: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	fp := sweepFP(t)
+	j, err := OpenSweepJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.PutDone("a|pom-tlb|", core.Result{})
+	j.PutDone("b|pom-tlb|", core.Result{})
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload (not the tail).
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines", len(lines))
+	}
+	mid := []byte(lines[1])
+	mid[70] ^= 0xFF
+	lines[1] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSweepJournal(path, fp); err == nil {
+		t.Fatal("mid-file corruption must fail the load")
+	} else if !strings.Contains(err.Error(), "refusing to resume") {
+		t.Errorf("unhelpful corruption error: %v", err)
+	}
+}
+
+func TestSweepJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenSweepJournal(path, SweepFingerprint(quick(), "pom-mb=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, err = OpenSweepJournal(path, SweepFingerprint(quick(), "pom-mb=1,2"))
+	if err == nil {
+		t.Fatal("grid geometry change accepted by resume")
+	}
+	if !strings.Contains(err.Error(), "grid geometry") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestSweepJournalVsLegacyCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+
+	// A legacy JSON checkpoint opened as a sweep journal: clear error.
+	legacy := filepath.Join(dir, "ckpt.json")
+	cp, err := LoadCheckpoint(legacy, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Put("gups", core.POMTLB, core.Result{})
+	if _, err := OpenSweepJournal(legacy, "fp"); err == nil {
+		t.Fatal("legacy checkpoint accepted as sweep journal")
+	} else if !strings.Contains(err.Error(), "legacy campaign checkpoint") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+
+	// A sweep journal opened as a legacy checkpoint: clear error.
+	sweep := filepath.Join(dir, "sweep.journal")
+	j, err := OpenSweepJournal(sweep, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := LoadCheckpoint(sweep, "fp"); err == nil {
+		t.Fatal("sweep journal accepted as legacy checkpoint")
+	} else if !strings.Contains(err.Error(), "sweep journal") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestSweepJournalTornHeaderRecreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	// A file killed mid-header-write: some bytes, no complete record.
+	if err := os.WriteFile(path, []byte("0123abcd partial-head"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenSweepJournal(path, "fp")
+	if err != nil {
+		t.Fatalf("torn header must recreate the journal: %v", err)
+	}
+	defer j.Close()
+	if j.TruncatedRecords() != 1 {
+		t.Errorf("TruncatedRecords = %d, want 1", j.TruncatedRecords())
+	}
+	if err := j.PutDone("a|pom-tlb|", core.Result{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepJournalNilSafe(t *testing.T) {
+	var j *SweepJournal
+	if _, ok := j.Done("x"); ok {
+		t.Error("nil journal returned a cell")
+	}
+	if _, ok := j.Quarantined("x"); ok {
+		t.Error("nil journal returned a quarantine record")
+	}
+	if err := j.PutDone("x", core.Result{}); err != nil {
+		t.Error("nil PutDone must be a no-op")
+	}
+	if err := j.PutQuarantined("x", QuarantineInfo{}); err != nil {
+		t.Error("nil PutQuarantined must be a no-op")
+	}
+	if j.Len() != 0 || j.DoneLen() != 0 || j.TruncatedRecords() != 0 || j.Path() != "" {
+		t.Error("nil accessors must return zero values")
+	}
+	if err := j.Close(); err != nil {
+		t.Error("nil Close must be a no-op")
+	}
+}
+
+func TestSweepFingerprintCoversGeometry(t *testing.T) {
+	a := SweepFingerprint(quick(), "pom-mb=1,2")
+	if b := SweepFingerprint(quick(), "pom-mb=1,2,4"); a == b {
+		t.Error("grid change must change the sweep fingerprint")
+	}
+	o := quick()
+	o.Seed = 99
+	if b := SweepFingerprint(o, "pom-mb=1,2"); a == b {
+		t.Error("options change must change the sweep fingerprint")
 	}
 }

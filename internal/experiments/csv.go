@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 )
 
 // WriteCSVs runs the main figures and writes one CSV per figure into dir,
@@ -140,4 +142,93 @@ func WriteCSVsContext(ctx context.Context, dir string, r *Runner) ([]string, err
 	}
 
 	return written, fs.err()
+}
+
+// OrderedCSV streams rows to an underlying writer in strict index order
+// while accepting them in any order — the bridge between a work-stealing
+// sweep (cells finish whenever their shard gets to them) and a results
+// file whose bytes must be identical run over run. Rows are buffered only
+// while an earlier index is still outstanding; as soon as the contiguous
+// prefix extends, it is flushed, so a well-mixed sweep holds O(workers)
+// rows in memory instead of the whole grid. Quarantined cells call Skip
+// so the prefix can advance past indices that will never produce a row.
+// Safe for concurrent use.
+type OrderedCSV struct {
+	mu      sync.Mutex
+	w       *csv.Writer
+	next    int
+	pending map[int][]string
+	skipped map[int]bool
+	rows    int
+}
+
+// NewOrderedCSV writes the header immediately and returns the streaming
+// writer.
+func NewOrderedCSV(w io.Writer, header []string) (*OrderedCSV, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	return &OrderedCSV{w: cw, pending: map[int][]string{}, skipped: map[int]bool{}}, nil
+}
+
+// Put hands over the row for index i; it is written once every smaller
+// index has been Put or Skipped.
+func (o *OrderedCSV) Put(i int, row []string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[i] = row
+	return o.advance()
+}
+
+// Skip marks index i as permanently rowless (a quarantined cell), letting
+// the contiguous prefix flush past it.
+func (o *OrderedCSV) Skip(i int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.skipped[i] = true
+	return o.advance()
+}
+
+// advance flushes the contiguous prefix. Caller holds o.mu.
+func (o *OrderedCSV) advance() error {
+	for {
+		if row, ok := o.pending[o.next]; ok {
+			if err := o.w.Write(row); err != nil {
+				return err
+			}
+			delete(o.pending, o.next)
+			o.rows++
+			o.next++
+			continue
+		}
+		if o.skipped[o.next] {
+			delete(o.skipped, o.next)
+			o.next++
+			continue
+		}
+		break
+	}
+	o.w.Flush()
+	return o.w.Error()
+}
+
+// Rows returns how many data rows have been written so far.
+func (o *OrderedCSV) Rows() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rows
+}
+
+// Pending returns how many rows are buffered waiting for earlier indices
+// — nonzero after an interrupted sweep whose missing cells will only
+// arrive on resume.
+func (o *OrderedCSV) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
 }

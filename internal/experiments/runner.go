@@ -212,11 +212,8 @@ func (r *Runner) ResultContext(ctx context.Context, name string, mode core.Mode)
 	return c.res, c.err
 }
 
-// simulate runs one (workload, scheme) job under the resilience
-// envelope: semaphore admission is abortable, the job runs under the
-// per-workload deadline, and panics anywhere in the simulation stack —
-// substrate constructors, trace generation, the core loop — are
-// recovered into the returned *WorkloadError.
+// simulate runs one (workload, scheme) job with semaphore admission
+// (abortable) in front of the shared single-cell path.
 func (r *Runner) simulate(ctx context.Context, name string, mode core.Mode) (core.Result, error) {
 	select {
 	case r.sem <- struct{}{}:
@@ -224,21 +221,32 @@ func (r *Runner) simulate(ctx context.Context, name string, mode core.Mode) (cor
 		return core.Result{}, &WorkloadError{Workload: name, Mode: mode, Err: ctx.Err()}
 	}
 	defer func() { <-r.sem }()
+	return SimulateCell(ctx, r.opts, name, mode)
+}
 
+// SimulateCell runs exactly one (workload, scheme) simulation under the
+// resilience envelope: the job runs under opts.WorkloadTimeout, and
+// panics anywhere in the simulation stack — substrate constructors, trace
+// generation, the core loop — are recovered into the returned
+// *WorkloadError. Unlike Runner.Result it performs no memoization,
+// checkpointing, or concurrency limiting; the design-space sweep engine
+// calls it directly from its own worker pool with per-cell geometry in
+// opts.
+func SimulateCell(ctx context.Context, opts Options, name string, mode core.Mode) (core.Result, error) {
 	var res core.Result
-	err := resilience.RunWithTimeout(ctx, r.opts.WorkloadTimeout, func(ctx context.Context) error {
-		if err := r.opts.Faults.Fire(faultinject.WorkerSite(name, mode.String())); err != nil {
+	err := resilience.RunWithTimeout(ctx, opts.WorkloadTimeout, func(ctx context.Context) error {
+		if err := opts.Faults.Fire(faultinject.WorkerSite(name, mode.String())); err != nil {
 			return err
 		}
 		p, ok := workloads.ByName(name)
 		if !ok {
 			return resilience.Permanent(fmt.Errorf("experiments: unknown workload %q", name))
 		}
-		cfg := r.opts.config(mode)
-		if mode != core.Baseline && !r.opts.UncalibratedWalks {
+		cfg := opts.config(mode)
+		if mode != core.Baseline && !opts.UncalibratedWalks {
 			// Charge scheme-run walks at the measured baseline cost (§3.3).
 			pen := p.CyclesPerMissVirt
-			if !r.opts.Virtualized {
+			if !opts.Virtualized {
 				pen = p.CyclesPerMissNative
 			}
 			cfg.WalkPenaltyOverride = uint64(pen)
@@ -248,10 +256,10 @@ func (r *Runner) simulate(ctx context.Context, name string, mode core.Mode) (cor
 			return err
 		}
 		var sc *core.SelfCheck
-		if r.opts.SelfCheck {
+		if opts.SelfCheck {
 			sc = sys.EnableSelfCheck()
 		}
-		gen := faultinject.Wrap(p.Generator(r.opts.Cores, r.opts.Seed), r.opts.Faults)
+		gen := faultinject.Wrap(p.Generator(opts.Cores, opts.Seed), opts.Faults)
 		res, err = sys.RunContext(ctx, gen, name)
 		if err != nil {
 			return err

@@ -161,6 +161,14 @@ func WorkerSite(workload, scheme string) string {
 	return "worker:" + workload + "/" + scheme
 }
 
+// SweepCellSite names the sweep-engine site fired once per attempt of one
+// sweep cell; key is the cell's canonical "workload|scheme|variant" key,
+// so chaos plans target exact grid coordinates regardless of which shard
+// or worker picks the cell up.
+func SweepCellSite(key string) string {
+	return "sweep:" + key
+}
+
 // DRAMSite is the per-access site the DRAM channels fire.
 const DRAMSite = "dram.access"
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -130,11 +131,71 @@ func (p Policy) Backoff(attempt int) time.Duration {
 	return d
 }
 
+// Budget is a global retry allowance shared by every job of a campaign
+// or sweep: each re-attempt (every attempt after a job's first) consumes
+// one token. When the pool is dry, jobs fail on their first error instead
+// of backing off — a sweep where thousands of cells are flaky degrades in
+// bounded time rather than multiplying every cell's failure by the
+// per-cell retry cap. A nil *Budget is unlimited. Safe for concurrent use.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget creates a budget of n total retries across all jobs.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// Take consumes one retry token, reporting whether one was available.
+// A nil budget always grants.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		n := b.remaining.Load()
+		if n <= 0 {
+			return false
+		}
+		if b.remaining.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// Remaining returns the unconsumed retry tokens (0 for an exhausted
+// budget; a large sentinel is not used — nil means unlimited).
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return 0
+	}
+	n := b.remaining.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// ErrBudgetExhausted marks a retry loop that stopped early because the
+// shared Budget ran dry; errors.Is distinguishes "gave up globally" from
+// "this job used its own attempt cap".
+var ErrBudgetExhausted = errors.New("resilience: global retry budget exhausted")
+
 // Retry runs fn until it succeeds, returns a Permanent error, the context
 // is cancelled, or MaxAttempts is exhausted. Panics inside fn are
 // recovered into *PanicError and treated as permanent — a panicking job
 // is deterministic, not transient.
 func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	return RetryBudget(ctx, p, nil, fn)
+}
+
+// RetryBudget is Retry drawing re-attempts from a shared global Budget:
+// before each backoff the loop must win a token, and an exhausted budget
+// ends the loop with the last error wrapped in ErrBudgetExhausted. A nil
+// budget reduces to plain Retry.
+func RetryBudget(ctx context.Context, p Policy, b *Budget, fn func(ctx context.Context) error) error {
 	if p.MaxAttempts < 1 {
 		p.MaxAttempts = 1
 	}
@@ -156,6 +217,9 @@ func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) er
 		}
 		if attempt == p.MaxAttempts-1 {
 			break
+		}
+		if !b.Take() {
+			return fmt.Errorf("%w after %d attempt(s): %w", ErrBudgetExhausted, attempt+1, err)
 		}
 		t := time.NewTimer(p.Backoff(attempt))
 		select {

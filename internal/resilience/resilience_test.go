@@ -182,3 +182,58 @@ func TestRunWithTimeoutZeroMeansNone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBudgetTake(t *testing.T) {
+	b := NewBudget(2)
+	if !b.Take() || !b.Take() {
+		t.Fatal("budget of 2 must grant twice")
+	}
+	if b.Take() {
+		t.Fatal("exhausted budget must not grant")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", b.Remaining())
+	}
+	var nilB *Budget
+	if !nilB.Take() {
+		t.Fatal("nil budget must be unlimited")
+	}
+}
+
+func TestRetryBudgetStopsWhenExhausted(t *testing.T) {
+	b := NewBudget(1)
+	calls := 0
+	err := RetryBudget(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, b,
+		func(context.Context) error { calls++; return errors.New("flaky") })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (first attempt + one budgeted retry)", calls)
+	}
+}
+
+func TestRetryBudgetSharedAcrossJobs(t *testing.T) {
+	b := NewBudget(3)
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Microsecond}
+	total := 0
+	for job := 0; job < 4; job++ {
+		RetryBudget(context.Background(), p, b, func(context.Context) error {
+			total++
+			return errors.New("always fails")
+		})
+	}
+	// 4 first attempts are free; only 3 retries exist in the pool.
+	if total != 7 {
+		t.Fatalf("total attempts = %d, want 7", total)
+	}
+}
+
+func TestRetryBudgetPermanentDoesNotConsume(t *testing.T) {
+	b := NewBudget(5)
+	RetryBudget(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, b,
+		func(context.Context) error { return Permanent(errors.New("bad config")) })
+	if b.Remaining() != 5 {
+		t.Fatalf("permanent failure consumed budget: remaining %d", b.Remaining())
+	}
+}
