@@ -10,6 +10,7 @@ package repro
 // alongside the usual ns/op.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -189,7 +190,7 @@ func BenchmarkFig12Caching(b *testing.B) {
 
 func BenchmarkAblationCapacity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationCapacity(benchOpts())
+		pts, err := experiments.AblationCapacity(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkAblationCapacity(b *testing.B) {
 
 func BenchmarkAblationCores(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationCores(benchOpts())
+		pts, err := experiments.AblationCores(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func BenchmarkAblationCores(b *testing.B) {
 
 func BenchmarkAblationAssociativity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationAssociativity(benchOpts())
+		pts, err := experiments.AblationAssociativity(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func BenchmarkAblationAssociativity(b *testing.B) {
 
 func BenchmarkAblationBypass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationBypass(benchOpts())
+		pts, err := experiments.AblationBypass(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,14 +326,14 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	p, _ := workloads.ByName("gups")
 	g := p.Generator(cfg.Cores, 1)
 	b.ResetTimer()
-	if _, err := sys.Run(g, "bench"); err != nil {
+	if _, err := sys.Run(context.Background(), g, "bench"); err != nil {
 		b.Fatal(err)
 	}
 }
 
 func BenchmarkAblationTLBAwareCaching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationTLBAwareCaching(benchOpts())
+		pts, err := experiments.AblationTLBAwareCaching(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -344,7 +345,7 @@ func BenchmarkAblationTLBAwareCaching(b *testing.B) {
 
 func BenchmarkAblationNeighborPrefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.AblationNeighborPrefetch(benchOpts())
+		pts, err := experiments.AblationNeighborPrefetch(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

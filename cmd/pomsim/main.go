@@ -164,7 +164,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		gen = replay
 		label = *trcPath
 	}
-	res, err := sys.RunContext(ctx, gen, label)
+	res, err := sys.Run(ctx, gen, label)
 	if err != nil {
 		return err
 	}
@@ -290,7 +290,7 @@ func runComparison(ctx context.Context, out io.Writer, p workloads.Profile, base
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunContext(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
+		res, err := sys.Run(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
 		if err != nil {
 			return err
 		}
@@ -335,7 +335,7 @@ func runSelfCheck(ctx context.Context, out io.Writer, base core.Config) error {
 				return err
 			}
 			sc := sys.EnableSelfCheck()
-			res, err := sys.RunContext(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
+			res, err := sys.Run(ctx, p.Generator(cfg.Cores, cfg.Seed), p.Name)
 			if err != nil {
 				return err
 			}

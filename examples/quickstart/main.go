@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sys.Run(p.Generator(cfg.Cores, 1), p.Name)
+		res, err := sys.Run(context.Background(), p.Generator(cfg.Cores, 1), p.Name)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 		Seed: 1, FootprintBytes: 16 << 20, LargeFrac: 0,
 		Threads: cfg.Cores, MeanGap: 5, WriteFrac: 0.2,
 	}
-	if _, err := sys.Run(trace.NewUniform(params), "warm"); err != nil {
+	if _, err := sys.Run(context.Background(), trace.NewUniform(params), "warm"); err != nil {
 		log.Fatal(err)
 	}
 

@@ -181,14 +181,22 @@ func (s Stats) DataHitRate() float64 { return s.Access[Data].Ratio() }
 // TLBHitRate returns the hit ratio for POM-TLB entry lines (Figure 9).
 func (s Stats) TLBHitRate() float64 { return s.Access[TLBEntry].Ratio() }
 
-// Cache is one level of a write-back, write-allocate cache.
+// hook wraps an attached Shadow behind a concrete pointer: the
+// unobserved hot path pays a single-word nil check instead of a
+// two-word interface comparison, and the virtual call sits behind a
+// branch the CPU predicts never-taken when no oracle is attached.
+type hook struct{ s Shadow }
+
+// Cache is one level of a write-back, write-allocate cache. All ways
+// live in one contiguous array; set i occupies ways[i*Ways : (i+1)*Ways].
 type Cache struct {
 	cfg     Config
-	sets    [][]way
+	ways    []way
+	nways   int
 	setMask uint64
 	clock   uint64
 	stats   Stats
-	shadow  Shadow
+	shadow  *hook
 
 	// resident tracks how many currently-valid lines hold each kind, so
 	// occupancy interference is observable.
@@ -201,12 +209,12 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	n := cfg.Sets()
-	sets := make([][]way, n)
-	backing := make([]way, n*uint64(cfg.Ways))
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
-	return &Cache{cfg: cfg, sets: sets, setMask: n - 1}, nil
+	return &Cache{
+		cfg:     cfg,
+		ways:    make([]way, n*uint64(cfg.Ways)),
+		nways:   cfg.Ways,
+		setMask: n - 1,
+	}, nil
 }
 
 // MustNew is New but panics on invalid configuration — the historical
@@ -223,7 +231,13 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // SetShadow attaches (or, with nil, detaches) a lockstep observer.
-func (c *Cache) SetShadow(s Shadow) { c.shadow = s }
+func (c *Cache) SetShadow(s Shadow) {
+	if s == nil {
+		c.shadow = nil
+		return
+	}
+	c.shadow = &hook{s}
+}
 
 // Latency returns the hit latency in cycles.
 func (c *Cache) Latency() uint64 { return c.cfg.Latency }
@@ -231,11 +245,18 @@ func (c *Cache) Latency() uint64 { return c.cfg.Latency }
 // setIndex maps a line address to its set.
 func (c *Cache) setIndex(line uint64) uint64 { return line & c.setMask }
 
+// setFor returns the ways of the set a line maps to.
+func (c *Cache) setFor(line uint64) []way {
+	i := c.setIndex(line) * uint64(c.nways)
+	return c.ways[i : i+uint64(c.nways)]
+}
+
 // Lookup probes for a line without recording statistics or changing
 // anything; used by tests and inclusive-hierarchy checks.
 func (c *Cache) Lookup(line uint64) bool {
-	for i := range c.sets[c.setIndex(line)] {
-		w := &c.sets[c.setIndex(line)][i]
+	set := c.setFor(line)
+	for i := range set {
+		w := &set[i]
 		if w.valid && w.tag == line {
 			return true
 		}
@@ -250,7 +271,7 @@ func (c *Cache) Lookup(line uint64) bool {
 // threads a miss down the hierarchy.
 func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
 	c.clock++
-	set := c.sets[c.setIndex(line)]
+	set := c.setFor(line)
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == line {
@@ -260,14 +281,14 @@ func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
 			}
 			c.stats.Access[kind].Hit()
 			if c.shadow != nil {
-				c.shadow.Access(line, write, kind, true)
+				c.shadow.s.Access(line, write, kind, true)
 			}
 			return true
 		}
 	}
 	c.stats.Access[kind].Miss()
 	if c.shadow != nil {
-		c.shadow.Access(line, write, kind, false)
+		c.shadow.s.Access(line, write, kind, false)
 	}
 	return false
 }
@@ -278,7 +299,7 @@ func (c *Cache) Access(line uint64, write bool, kind Kind) bool {
 // policy, where non-preferred lines are evicted first.
 func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 	c.clock++
-	set := c.sets[c.setIndex(line)]
+	set := c.setFor(line)
 	// Scan the whole set for a present copy before choosing a victim:
 	// stopping the search at an invalid way would miss a matching line
 	// beyond it and install a duplicate.
@@ -291,7 +312,7 @@ func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 				w.dirty = true
 			}
 			if c.shadow != nil {
-				c.shadow.Fill(line, write, kind, Eviction{})
+				c.shadow.s.Fill(line, write, kind, Eviction{})
 			}
 			return Eviction{}
 		}
@@ -330,7 +351,7 @@ func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 	*w = way{tag: line, valid: true, dirty: write, kind: kind, lru: c.clock}
 	c.resident[kind]++
 	if c.shadow != nil {
-		c.shadow.Fill(line, write, kind, ev)
+		c.shadow.s.Fill(line, write, kind, ev)
 	}
 	return ev
 }
@@ -338,7 +359,7 @@ func (c *Cache) Fill(line uint64, write bool, kind Kind) Eviction {
 // Invalidate drops a line if present, returning whether it was dirty. Used
 // for TLB shootdowns of cached POM-TLB sets.
 func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
-	set := c.sets[c.setIndex(line)]
+	set := c.setFor(line)
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == line {
@@ -349,7 +370,7 @@ func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
 		}
 	}
 	if c.shadow != nil {
-		c.shadow.Invalidate(line, present, dirty)
+		c.shadow.s.Invalidate(line, present, dirty)
 	}
 	return present, dirty
 }
@@ -358,17 +379,15 @@ func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
 // flushes of cached POM-TLB sets) and returns the count dropped.
 func (c *Cache) InvalidateKind(kind Kind) int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].kind == kind {
-				set[i] = way{}
-				c.resident[kind]--
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].valid && c.ways[i].kind == kind {
+			c.ways[i] = way{}
+			c.resident[kind]--
+			n++
 		}
 	}
 	if c.shadow != nil {
-		c.shadow.InvalidateKind(kind, n)
+		c.shadow.s.InvalidateKind(kind, n)
 	}
 	return n
 }
@@ -384,7 +403,9 @@ func (c *Cache) Resident(kind Kind) uint64 { return c.resident[kind] }
 func (c *Cache) CheckInvariants() error {
 	var recount [numKinds]uint64
 	seen := make(map[uint64]int)
-	for si, set := range c.sets {
+	numSets := len(c.ways) / c.nways
+	for si := 0; si < numSets; si++ {
+		set := c.ways[si*c.nways : (si+1)*c.nways]
 		stamps := make(map[uint64]int, len(set))
 		for wi := range set {
 			w := &set[wi]

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// allocGen builds a generator whose footprint is small enough to be fully
+// demand-mapped during warmup, so steady state touches no new pages.
+func allocGen(cores int) trace.Generator {
+	return trace.NewUniform(trace.Params{
+		Seed:           7,
+		FootprintBytes: 4 << 20,
+		LargeFrac:      0.25,
+		Threads:        cores,
+		MeanGap:        4,
+		WriteFrac:      0.3,
+	})
+}
+
+// TestSteadyStateZeroAllocs pins the tentpole property: with self-checking
+// off, the per-record hot path of every measured scheme allocates nothing
+// once the footprint is mapped and every structure is warm. A regression
+// here is exactly what the perf-trajectory gate exists to catch, but this
+// test catches it in 'go test' without timing noise.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	modes := []Mode{Baseline, SharedL2, TSB, POMTLB, POMTLBNoCache, L4Cache}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.Cores = 2
+			cfg.WarmupRefs = 0
+			cfg.MaxRefs = 1
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			g := allocGen(cfg.Cores)
+			// Reach steady state: map the whole footprint, warm every TLB,
+			// cache, predictor, and the scheduler's per-core rings.
+			if err := sys.Advance(ctx, g, 100_000); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if err := sys.Advance(ctx, g, 2_000); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("mode %s: %.3f allocs per 2000-record window in steady state, want 0", mode, avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAllocsNeighborPrefetch covers the §6 extension path
+// separately: the prefetch loop reads the POM-TLB set through SetView,
+// which must alias the live set rather than copy it.
+func TestSteadyStateZeroAllocsNeighborPrefetch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = POMTLB
+	cfg.Cores = 2
+	cfg.NeighborPrefetch = true
+	cfg.WarmupRefs = 0
+	cfg.MaxRefs = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g := allocGen(cfg.Cores)
+	if err := sys.Advance(ctx, g, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if err := sys.Advance(ctx, g, 2_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("neighbor-prefetch: %.3f allocs per window in steady state, want 0", avg)
+	}
+}
+
+// TestShadowObservesAfterDevirtualization asserts the devirtualized
+// observer seams still deliver every event: with self-checking on, the
+// reference models must record at least one checked decision per
+// simulated record (each record touches the L1 TLB shadow at minimum),
+// and the run must verify clean.
+func TestShadowObservesAfterDevirtualization(t *testing.T) {
+	for _, mode := range []Mode{Baseline, SharedL2, TSB, POMTLB} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.Cores = 2
+			cfg.WarmupRefs = 0
+			cfg.MaxRefs = 30_000
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := sys.EnableSelfCheck()
+			res, err := sys.Run(context.Background(), allocGen(cfg.Cores), "devirt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatalf("self-check diverged: %v", err)
+			}
+			if got := sc.Harness().Decisions(); got < res.Records {
+				t.Errorf("only %d checked decisions for %d records: shadow hooks are dropping observations",
+					got, res.Records)
+			}
+		})
+	}
+}

@@ -46,6 +46,8 @@ const (
 	// instead of a TLB — the Section 2.2 trade-off. Translations use the
 	// baseline walk (whose PTE reads also benefit from the L4).
 	L4Cache
+
+	numModes
 )
 
 // String implements fmt.Stringer.

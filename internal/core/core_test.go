@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func runMode(t *testing.T, mode Mode) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "gups-test")
+	res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "gups-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestNativeMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "native")
+	res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "native")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestMultiVM(t *testing.T) {
 	if sys.Hypervisor().VMs() != 2 {
 		t.Fatalf("VMs = %d", sys.Hypervisor().VMs())
 	}
-	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "multivm")
+	res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "multivm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestStreamingWorkloadHasFewL2Misses(t *testing.T) {
 		Seed: 1, FootprintBytes: 64 << 20, LargeFrac: 0.9,
 		Threads: cfg.Cores, MeanGap: 8, WriteFrac: 0.2,
 	}
-	res, err := sys.Run(trace.NewStream(p), "stream")
+	res, err := sys.Run(context.Background(), trace.NewStream(p), "stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestWarmupDiscarded(t *testing.T) {
 	cfg := smallConfig(POMTLB)
 	cfg.WarmupRefs = 10_000
 	sys, _ := NewSystem(cfg)
-	res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "warm")
+	res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "warm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestWarmupDiscarded(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	run := func() Result {
 		sys, _ := NewSystem(smallConfig(POMTLB))
-		res, _ := sys.Run(trace.NewUniform(gupsParams(2)), "det")
+		res, _ := sys.Run(context.Background(), trace.NewUniform(gupsParams(2)), "det")
 		return res
 	}
 	a, b := run(), run()
@@ -312,7 +313,7 @@ func TestRunWithWorkloadProfile(t *testing.T) {
 	p, _ := workloads.ByName("gups")
 	cfg := smallConfig(POMTLB)
 	sys, _ := NewSystem(cfg)
-	res, err := sys.Run(p.Generator(cfg.Cores, cfg.Seed), p.Name)
+	res, err := sys.Run(context.Background(), p.Generator(cfg.Cores, cfg.Seed), p.Name)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/addr"
@@ -32,7 +33,7 @@ func runHot(t *testing.T, mutate func(*Config)) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(trace.NewHotCold(hotParams(cfg.Cores), 0.2, 0.9), "hot")
+	res, err := sys.Run(context.Background(), trace.NewHotCold(hotParams(cfg.Cores), 0.2, 0.9), "hot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestNeighborPrefetchIsCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(trace.NewHotCold(hotParams(cfg.Cores), 0.2, 0.9), "hot"); err != nil {
+	if _, err := sys.Run(context.Background(), trace.NewHotCold(hotParams(cfg.Cores), 0.2, 0.9), "hot"); err != nil {
 		t.Fatal(err)
 	}
 	c := sys.cores[0]
@@ -124,7 +125,7 @@ func TestCoherenceWriteInvalidate(t *testing.T) {
 		Seed: 9, FootprintBytes: 8 << 20, LargeFrac: 0,
 		Threads: cfg.Cores, MeanGap: 3, WriteFrac: 0.5,
 	}
-	res, err := sys.Run(trace.NewUniform(p), "coh")
+	res, err := sys.Run(context.Background(), trace.NewUniform(p), "coh")
 	if err != nil {
 		t.Fatal(err)
 	}

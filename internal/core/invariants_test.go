@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/addr"
@@ -19,7 +20,7 @@ func TestResolutionAccountingAllModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "inv")
+		res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "inv")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestTranslationsMatchLogicalAllModes(t *testing.T) {
 		}
 		p := gupsParams(cfg.Cores)
 		p.FootprintBytes = 32 << 20
-		if _, err := sys.Run(trace.NewUniform(p), "inv"); err != nil {
+		if _, err := sys.Run(context.Background(), trace.NewUniform(p), "inv"); err != nil {
 			t.Fatal(err)
 		}
 		c := sys.cores[0]
@@ -107,7 +108,7 @@ func TestCyclesScaleWithRefs(t *testing.T) {
 		cfg.WarmupRefs = 50_000
 		cfg.MaxRefs = refs
 		sys, _ := NewSystem(cfg)
-		res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "scale")
+		res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "scale")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestWarmupOnlyAffectsCounters(t *testing.T) {
 		sys, _ := NewSystem(cfg)
 		// Skip warmup manually so both runs measure the same window.
 		g := trace.NewUniform(gupsParams(cfg.Cores))
-		res, err := sys.Run(g, "warmtest")
+		res, err := sys.Run(context.Background(), g, "warmtest")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestShootdownDuringRunKeepsInvariants(t *testing.T) {
 	}
 	p := gupsParams(cfg.Cores)
 	p.FootprintBytes = 16 << 20
-	if _, err := sys.Run(trace.NewUniform(p), "pre"); err != nil {
+	if _, err := sys.Run(context.Background(), trace.NewUniform(p), "pre"); err != nil {
 		t.Fatal(err)
 	}
 	vm := sys.vms[0]
@@ -199,7 +200,7 @@ func TestProcessExitRecyclesPID(t *testing.T) {
 		}
 		p := gupsParams(cfg.Cores)
 		p.FootprintBytes = 16 << 20
-		if _, err := sys.Run(trace.NewUniform(p), "exit"); err != nil {
+		if _, err := sys.Run(context.Background(), trace.NewUniform(p), "exit"); err != nil {
 			t.Fatal(err)
 		}
 		vm := sys.vms[0]

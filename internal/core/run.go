@@ -109,28 +109,62 @@ func (r Result) String() string {
 		100*r.L2DProbe.Ratio(), 100*r.POMDRAM.Ratio(), 100*r.POMDRAMStats.RowBufferHitRate())
 }
 
+// recordRing is a growable power-of-two circular buffer of trace
+// records. Each core's ring reaches a stable capacity after the first
+// few thousand records and the loop stops allocating — unlike the
+// previous slice-of-slices queue, whose head was dropped by reslicing so
+// every append eventually grew the backing array again.
+type recordRing struct {
+	buf  []trace.Record
+	head int
+	n    int
+}
+
+func (r *recordRing) push(rec trace.Record) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = rec
+	r.n++
+}
+
+func (r *recordRing) pop() (trace.Record, bool) {
+	if r.n == 0 {
+		return trace.Record{}, false
+	}
+	rec := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return rec, true
+}
+
+func (r *recordRing) grow() {
+	nb := make([]trace.Record, max(64, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
 // scheduler delivers each core's records in trace order while letting the
 // caller always advance the core whose clock is furthest behind — the
 // Ramulator-like issue-cadence scheduling of Section 3.2. Without it,
 // per-core clocks drift apart and the shared DRAM channels would charge
 // phantom queueing waits against whichever core's clock lags.
 type scheduler struct {
-	g      trace.Generator
-	cores  int
-	queues [][]trace.Record
+	g     trace.Generator
+	cores int
+	rings []recordRing
 }
 
 func newScheduler(g trace.Generator, cores int) *scheduler {
-	return &scheduler{g: g, cores: cores, queues: make([][]trace.Record, cores)}
+	return &scheduler{g: g, cores: cores, rings: make([]recordRing, cores)}
 }
 
 // next returns the next record for the given core, buffering other cores'
 // records encountered along the way.
 func (sc *scheduler) next(core int) trace.Record {
-	q := sc.queues[core]
-	if len(q) > 0 {
-		rec := q[0]
-		sc.queues[core] = q[1:]
+	if rec, ok := sc.rings[core].pop(); ok {
 		return rec
 	}
 	for {
@@ -139,7 +173,7 @@ func (sc *scheduler) next(core int) trace.Record {
 		if c == core {
 			return rec
 		}
-		sc.queues[c] = append(sc.queues[c], rec)
+		sc.rings[c].push(rec)
 	}
 }
 
@@ -154,12 +188,6 @@ func (s *System) minClockCore() *coreState {
 	return min
 }
 
-// Run consumes WarmupRefs + MaxRefs records from the generator, resetting
-// statistics after warmup, and returns the final Result.
-func (s *System) Run(g trace.Generator, workload string) (Result, error) {
-	return s.RunContext(context.Background(), g, workload)
-}
-
 // cancelCheckInterval is how many records run between context polls: a
 // record costs tens of nanoseconds to simulate, so checking every 1024
 // keeps cancellation latency well under a millisecond at negligible cost.
@@ -172,34 +200,16 @@ const cancelCheckInterval = 1024
 // close to where it happened.
 const selfCheckInterval = 64 * 1024
 
-// RunContext is Run with cooperative cancellation: the simulation polls
-// ctx between records and returns ctx.Err() (with the partial Result
-// accumulated so far) when the deadline passes or the campaign is
-// cancelled mid-run.
-func (s *System) RunContext(ctx context.Context, g trace.Generator, workload string) (Result, error) {
-	s.res.Workload = workload
-	total := s.cfg.WarmupRefs + s.cfg.MaxRefs
-	sched := newScheduler(g, len(s.cores))
-	for i := 0; i < total; i++ {
-		if i%cancelCheckInterval == 0 {
-			select {
-			case <-ctx.Done():
-				s.finalize()
-				return s.res, fmt.Errorf("core: %s interrupted after %d/%d refs: %w",
-					workload, i, total, ctx.Err())
-			default:
-			}
-		}
-		if i == s.cfg.WarmupRefs {
-			s.resetStats()
-		}
-		if s.selfCheck != nil && i%selfCheckInterval == selfCheckInterval-1 {
-			s.selfCheck.sweep()
-		}
+// runRecords consumes exactly n records through the scheduler — the
+// allocation-free inner loop shared by Run and Advance. Boundary events
+// (context polls, the warmup reset, self-check sweeps) are the callers'
+// business: they size n so the loop body carries no per-record checks.
+func (s *System) runRecords(sched *scheduler, n int) error {
+	for i := 0; i < n; i++ {
 		c := s.minClockCore()
 		rec := sched.next(c.id)
 		if err := s.touch(c, rec.VA, rec.Size); err != nil {
-			return s.res, fmt.Errorf("core: demand-mapping %v: %w", rec.VA, err)
+			return fmt.Errorf("core: demand-mapping %v: %w", rec.VA, err)
 		}
 		// Non-memory instructions retire at IPC 1 (linear model, §3.3).
 		c.clock += uint64(rec.Gap)
@@ -212,8 +222,89 @@ func (s *System) RunContext(ctx context.Context, g trace.Generator, workload str
 		c.clock = c.now
 		s.res.Records++
 	}
+	return nil
+}
+
+// nextBoundary returns the first record index after i at which the run
+// loop must surface for an event: a cancellation poll, the warmup
+// statistics reset, or (when self-checking) an invariant sweep.
+func nextBoundary(i, warmup int, selfCheck bool) int {
+	next := (i/cancelCheckInterval + 1) * cancelCheckInterval
+	if warmup > i && warmup < next {
+		next = warmup
+	}
+	if selfCheck {
+		sweep := (i/selfCheckInterval)*selfCheckInterval + selfCheckInterval - 1
+		if sweep <= i {
+			sweep += selfCheckInterval
+		}
+		if sweep < next {
+			next = sweep
+		}
+	}
+	return next
+}
+
+// Run consumes WarmupRefs + MaxRefs records from the generator, resetting
+// statistics after warmup, and returns the final Result. The simulation
+// polls ctx between record batches and returns ctx.Err() (with the
+// partial Result accumulated so far) when the deadline passes or the
+// campaign is cancelled mid-run. Records are consumed in batches between
+// event boundaries, so the per-record path carries no bookkeeping.
+func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (Result, error) {
+	s.res.Workload = workload
+	total := s.cfg.WarmupRefs + s.cfg.MaxRefs
+	sched := newScheduler(g, len(s.cores))
+	for i := 0; i < total; {
+		select {
+		case <-ctx.Done():
+			s.finalize()
+			return s.res, fmt.Errorf("core: %s interrupted after %d/%d refs: %w",
+				workload, i, total, ctx.Err())
+		default:
+		}
+		if i == s.cfg.WarmupRefs {
+			s.resetStats()
+		}
+		if s.selfCheck != nil && i%selfCheckInterval == selfCheckInterval-1 {
+			s.selfCheck.sweep()
+		}
+		n := total - i
+		if next := nextBoundary(i, s.cfg.WarmupRefs, s.selfCheck != nil); next-i < n {
+			n = next - i
+		}
+		if err := s.runRecords(sched, n); err != nil {
+			return s.res, err
+		}
+		i += n
+	}
 	s.finalize()
 	return s.res, nil
+}
+
+// Advance consumes exactly n records from the generator without any
+// warmup bookkeeping, statistics reset, or finalization — the primitive
+// the perf-trajectory harness times: call it once to reach steady state,
+// then time subsequent calls as pure record-loop windows. The scheduler
+// (and its buffered records) persists across Advance calls on the same
+// generator.
+func (s *System) Advance(ctx context.Context, g trace.Generator, n int) error {
+	if s.sched == nil || s.sched.g != g {
+		s.sched = newScheduler(g, len(s.cores))
+	}
+	for done := 0; done < n; {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		chunk := min(cancelCheckInterval, n-done)
+		if err := s.runRecords(s.sched, chunk); err != nil {
+			return err
+		}
+		done += chunk
+	}
+	return nil
 }
 
 // resetStats discards warmup counters while keeping all warmed state

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/pomtlb"
+	"repro/internal/tlb"
+	"repro/internal/tsb"
+)
+
+// schemeOps is the per-mode dispatch table: everything that varies by
+// translation scheme lives here, resolved once at System construction
+// instead of switching on cfg.Mode at every event. A nil hook means the
+// scheme has nothing to do for that event (e.g. Baseline owns no large
+// translation structure).
+type schemeOps struct {
+	// build constructs the scheme's large structure(s) during NewSystem.
+	build func(*System)
+	// path resolves an L2 TLB miss — the Figure 8 per-scheme penalty path.
+	path func(*System, *coreState, addr.VA) tlb.Entry
+	// seed installs a freshly-mapped page's translation into the scheme's
+	// large structure under SteadyState.
+	seed func(*System, *coreState, addr.VA, addr.PageSize, uint64)
+	// shootdown drops one page's translation from the scheme's structure.
+	shootdown func(*System, addr.VMID, addr.PID, addr.VA, uint64, addr.PageSize)
+	// processExit flushes every translation of (vm, pid) from the scheme's
+	// structure, returning the number of entries removed.
+	processExit func(*System, addr.VMID, addr.PID) int
+}
+
+// modeOps maps each Mode to its dispatch table. The SharedL2 seed hook is
+// deliberately nil: its capacity (12 K entries at 8 cores) is far below
+// the big footprints, so in steady state a streamed page would long since
+// have been evicted — seeding immediately before the probe would fake a
+// hit the real structure could not deliver. The POM-TLB and TSB hold
+// ≥ 0.5 M entries and do retain every page at these footprints.
+var modeOps = [numModes]schemeOps{
+	Baseline: {
+		path: (*System).baselinePath,
+	},
+	POMTLB: {
+		build:       buildPOM,
+		path:        (*System).pomPath,
+		seed:        seedPOM,
+		shootdown:   shootdownPOM,
+		processExit: processExitPOM,
+	},
+	POMTLBNoCache: {
+		build:       buildPOM,
+		path:        (*System).pomPath,
+		seed:        seedPOM,
+		shootdown:   shootdownPOM,
+		processExit: processExitPOM,
+	},
+	SharedL2: {
+		build:       buildShared,
+		path:        (*System).sharedPath,
+		shootdown:   shootdownShared,
+		processExit: processExitShared,
+	},
+	TSB: {
+		build:       buildTSB,
+		path:        (*System).tsbPath,
+		seed:        seedTSB,
+		shootdown:   shootdownTSB,
+		processExit: processExitTSB,
+	},
+	L4Cache: {
+		build: buildL4,
+		path:  (*System).baselinePath,
+	},
+}
+
+func buildPOM(s *System) { s.pom = pomtlb.New(s.cfg.POM) }
+
+func buildTSB(s *System) { s.tsbB = tsb.MustNew(s.cfg.TSBCfg) }
+
+func buildShared(s *System) { s.shared = tlb.MustNew(tlb.SharedL2(s.cfg.Cores)) }
+
+func buildL4(s *System) {
+	s.l4 = cache.MustNew(cache.Config{
+		Name:      "L4",
+		SizeBytes: s.cfg.POM.SizeBytes, // same capacity as the TLB it replaces
+		Ways:      16,
+		Latency:   0, // the DRAM access itself is charged per hit
+	})
+	s.l4chan = dram.MustNew(s.cfg.POM.DRAM)
+}
+
+func seedPOM(s *System, c *coreState, va addr.VA, size addr.PageSize, pfn uint64) {
+	if size == addr.Page1G {
+		return // the POM-TLB has no 1 GB partition
+	}
+	s.pom.Partition(size).Insert(pomtlb.Entry{
+		Valid: true, VM: c.vmid, PID: c.pid,
+		VPN: va.VPN(size), PFN: pfn, Size: size,
+	})
+}
+
+func seedTSB(s *System, c *coreState, va addr.VA, size addr.PageSize, pfn uint64) {
+	s.tsbB.Insert(c.vmid, c.pid, va.VPN(size), pfn, size)
+}
+
+func shootdownPOM(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
+	s.pom.InvalidatePage(vmid, pid, vpn, size)
+	// Cached copies of the set line are stale once the set changes.
+	line := s.pom.Partition(size).SetAddr(va, vmid).Line()
+	for _, c := range s.cores {
+		c.l1d.Invalidate(line)
+		c.l2.Invalidate(line)
+	}
+	s.l3.Invalidate(line)
+}
+
+func shootdownTSB(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
+	s.tsbB.InvalidatePage(vmid, pid, vpn, size)
+}
+
+func shootdownShared(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
+	s.shared.InvalidatePage(vmid, pid, vpn, size)
+}
+
+func processExitPOM(s *System, vmid addr.VMID, pid addr.PID) int {
+	n := s.pom.InvalidateProcess(vmid, pid)
+	for _, c := range s.cores {
+		c.l1d.InvalidateKind(cache.TLBEntry)
+		c.l2.InvalidateKind(cache.TLBEntry)
+	}
+	s.l3.InvalidateKind(cache.TLBEntry)
+	return n
+}
+
+func processExitTSB(s *System, vmid addr.VMID, pid addr.PID) int {
+	return s.tsbB.InvalidateProcess(vmid, pid)
+}
+
+func processExitShared(s *System, vmid addr.VMID, pid addr.PID) int {
+	return s.shared.InvalidateProcess(vmid, pid)
+}

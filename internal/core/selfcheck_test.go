@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestSelfCheckAllSchemesClean(t *testing.T) {
 					t.Fatal(err)
 				}
 				sc := sys.EnableSelfCheck()
-				res, err := sys.Run(p.Generator(cfg.Cores, cfg.Seed), p.Name)
+				res, err := sys.Run(context.Background(), p.Generator(cfg.Cores, cfg.Seed), p.Name)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -88,7 +89,7 @@ func TestSelfCheckCatchesInjectedCorruption(t *testing.T) {
 		}
 	}, 120_000)
 	g := faultinject.Wrap(trace.NewUniform(gupsParams(cfg.Cores)), sched)
-	if _, err := sys.Run(g, "corrupted"); err != nil {
+	if _, err := sys.Run(context.Background(), g, "corrupted"); err != nil {
 		t.Fatal(err)
 	}
 	if corrupted == 0 {
@@ -116,7 +117,7 @@ func TestSelfCheckRecordCorruptionNoFalsePositives(t *testing.T) {
 		sched.CorruptOn(faultinject.TraceSite, n)
 	}
 	g := faultinject.Wrap(trace.NewUniform(gupsParams(cfg.Cores)), sched)
-	if _, err := sys.Run(g, "record-corrupt"); err != nil {
+	if _, err := sys.Run(context.Background(), g, "record-corrupt"); err != nil {
 		t.Fatal(err)
 	}
 	if err := sc.Err(); err != nil {
@@ -136,7 +137,7 @@ func TestSameSeedIdenticalResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(trace.NewUniform(gupsParams(2)), "det")
+		res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(2)), "det")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func TestBypassOffProbesOnlyGrow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(trace.NewUniform(gupsParams(cfg.Cores)), "bypass")
+		res, err := sys.Run(context.Background(), trace.NewUniform(gupsParams(cfg.Cores)), "bypass")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/addr"
@@ -20,7 +21,7 @@ func shootSystem(t *testing.T, mode Mode) (*System, addr.VA) {
 	}
 	p := gupsParams(cfg.Cores)
 	p.FootprintBytes = 16 << 20 // small: every page gets hot
-	if _, err := sys.Run(trace.NewUniform(p), "shoot"); err != nil {
+	if _, err := sys.Run(context.Background(), trace.NewUniform(p), "shoot"); err != nil {
 		t.Fatal(err)
 	}
 	// Pick a mapped 4K page.

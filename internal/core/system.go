@@ -58,6 +58,10 @@ type System struct {
 	// shared is the Shared_L2 scheme's combined SRAM TLB.
 	shared *tlb.TLB
 
+	// ops is the scheme dispatch table for cfg.Mode, resolved once at
+	// construction so no event path switches on the mode.
+	ops schemeOps
+
 	// lastWalkLatency threads the most recent walk's latency from
 	// mustWalk to the calling scheme path.
 	lastWalkLatency uint64
@@ -65,6 +69,10 @@ type System struct {
 	// selfCheck, when non-nil, is the differential-verification hook
 	// enabled by EnableSelfCheck.
 	selfCheck *SelfCheck
+
+	// sched persists the record scheduler across Advance calls so buffered
+	// per-core records survive window boundaries.
+	sched *scheduler
 
 	res Result
 }
@@ -97,26 +105,14 @@ func NewSystem(cfg Config) (*System, error) {
 			s.vms = append(s.vms, vm)
 		}
 	}
-	switch cfg.Mode {
-	case POMTLB, POMTLBNoCache:
-		s.pom = pomtlb.New(cfg.POM)
-	case TSB:
-		s.tsbB = tsb.MustNew(cfg.TSBCfg)
-	case SharedL2:
-		s.shared = tlb.MustNew(tlb.SharedL2(cfg.Cores))
-	case L4Cache:
-		s.l4 = cache.MustNew(cache.Config{
-			Name:      "L4",
-			SizeBytes: cfg.POM.SizeBytes, // same capacity as the TLB it replaces
-			Ways:      16,
-			Latency:   0, // the DRAM access itself is charged per hit
-		})
-		s.l4chan = dram.MustNew(cfg.POM.DRAM)
+	s.ops = modeOps[cfg.Mode]
+	if s.ops.build != nil {
+		s.ops.build(s)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
 			id:    i,
-			l1tlb: tlb.NewSplitL1(),
+			l1tlb: tlb.DefaultSplitL1(),
 			l2tlb: tlb.MustNew(cfg.L2TLB),
 			l1d:   cache.MustNew(cfg.L1D),
 			l2:    cache.MustNew(cfg.L2),
@@ -370,25 +366,9 @@ func (s *System) seed(c *coreState, va addr.VA) {
 		size = e.Size
 		hpa = addr.FromPFN(e.PFN, e.Size, 0)
 	}
-	pfn := hpa.PFN(size)
-	switch s.cfg.Mode {
-	case POMTLB, POMTLBNoCache:
-		if size == addr.Page1G {
-			return // the POM-TLB has no 1 GB partition
-		}
-		s.pom.Partition(size).Insert(pomtlb.Entry{
-			Valid: true, VM: c.vmid, PID: c.pid,
-			VPN: va.VPN(size), PFN: pfn, Size: size,
-		})
-	case TSB:
-		s.tsbB.Insert(c.vmid, c.pid, va.VPN(size), pfn, size)
+	if s.ops.seed != nil {
+		s.ops.seed(s, c, va, size, hpa.PFN(size))
 	}
-	// The Shared_L2 TLB is deliberately NOT seeded: its capacity (12 K
-	// entries at 8 cores) is far below the big footprints, so in steady
-	// state a streamed page would long since have been evicted — seeding
-	// immediately before the probe would fake a hit the real structure
-	// could not deliver. The POM-TLB and TSB hold ≥ 0.5 M entries and do
-	// retain every page at these footprints.
 }
 
 // walk performs the mode-appropriate page walk for a core.
@@ -435,20 +415,8 @@ func (s *System) Shootdown(vmid addr.VMID, pid addr.PID, va addr.VA, size addr.P
 		// PSCs and the nested TLB may cache stale structure pointers.
 		c.walker.InvalidateAll()
 	}
-	switch s.cfg.Mode {
-	case POMTLB, POMTLBNoCache:
-		s.pom.InvalidatePage(vmid, pid, vpn, size)
-		// Cached copies of the set line are stale once the set changes.
-		line := s.pom.Partition(size).SetAddr(va, vmid).Line()
-		for _, c := range s.cores {
-			c.l1d.Invalidate(line)
-			c.l2.Invalidate(line)
-		}
-		s.l3.Invalidate(line)
-	case TSB:
-		s.tsbB.InvalidatePage(vmid, pid, vpn, size)
-	case SharedL2:
-		s.shared.InvalidatePage(vmid, pid, vpn, size)
+	if s.ops.shootdown != nil {
+		s.ops.shootdown(s, vmid, pid, va, vpn, size)
 	}
 	return unmapped
 }
@@ -466,18 +434,8 @@ func (s *System) ProcessExit(vmid addr.VMID, pid addr.PID) int {
 		c.walker.InvalidateAll()
 	}
 	n := 0
-	switch s.cfg.Mode {
-	case POMTLB, POMTLBNoCache:
-		n = s.pom.InvalidateProcess(vmid, pid)
-		for _, c := range s.cores {
-			c.l1d.InvalidateKind(cache.TLBEntry)
-			c.l2.InvalidateKind(cache.TLBEntry)
-		}
-		s.l3.InvalidateKind(cache.TLBEntry)
-	case TSB:
-		n = s.tsbB.InvalidateProcess(vmid, pid)
-	case SharedL2:
-		n = s.shared.InvalidateProcess(vmid, pid)
+	if s.ops.processExit != nil {
+		n = s.ops.processExit(s, vmid, pid)
 	}
 	return n
 }

@@ -75,17 +75,7 @@ func (s *System) translate(c *coreState, va addr.VA) (addr.HPA, uint64) {
 	c.now += s.cfg.L2MissPenalty
 
 	missStart := c.now
-	var e tlb.Entry
-	switch s.cfg.Mode {
-	case Baseline, L4Cache:
-		e = s.baselinePath(c, va)
-	case POMTLB, POMTLBNoCache:
-		e = s.pomPath(c, va)
-	case SharedL2:
-		e = s.sharedPath(c, va)
-	case TSB:
-		e = s.tsbPath(c, va)
-	}
+	e := s.ops.path(s, c, va)
 	s.res.PenaltyCycles += c.now - missStart
 	return addr.Translate(va, e.PFN, e.Size), c.now - t0
 }
@@ -124,67 +114,11 @@ func (s *System) pomPath(c *coreState, va addr.VA) tlb.Entry {
 	bypass := useCaches && !s.cfg.DisableBypassPredictor && c.pred.PredictBypass(va)
 	probeCaches := useCaches && !bypass
 
-	var entry pomtlb.Entry
-	found := false
-	firstCachesHit := false
-	first := true
-
-	try := func(size addr.PageSize) bool {
-		part := s.pom.Partition(size)
-		setAddr := part.SetAddr(va, c.vmid)
-		line := setAddr.Line()
-		if probeCaches {
-			// The MMU issues the set address to the L2D$ first (2.1.3).
-			c.now += c.l2.Latency()
-			if c.l2.Access(line, false, cache.TLBEntry) {
-				s.res.L2DProbe.Hit()
-				if first {
-					firstCachesHit = true
-				}
-				if e, ok := part.Search(c.vmid, c.pid, va); ok {
-					s.res.Resolved[ResL2D]++
-					entry, found = e, true
-				}
-				return found // cached set is authoritative for this size
-			}
-			s.res.L2DProbe.Miss()
-			c.now += s.l3.Latency()
-			if s.l3.Access(line, false, cache.TLBEntry) {
-				s.res.L3DProbe.Hit()
-				if first {
-					firstCachesHit = true
-				}
-				s.fillL2(c, line, false, cache.TLBEntry)
-				if e, ok := part.Search(c.vmid, c.pid, va); ok {
-					s.res.Resolved[ResL3D]++
-					entry, found = e, true
-				}
-				return found
-			}
-			s.res.L3DProbe.Miss()
-		}
-		dres := s.pom.AccessDRAM(c.now, setAddr, part.LinesPerSet(), false)
-		c.now += dres.Latency
-		e, ok := part.Search(c.vmid, c.pid, va)
-		s.res.POMDRAM.Record(ok)
-		if useCaches {
-			// Like data misses, fetched sets fill into the caches — even
-			// on the bypass path (bypass skips the lookups, not the fill;
-			// without the fill a bypassed region could never become
-			// cache-resident again and the predictor would lock in).
-			s.fillL3(c, line, false, cache.TLBEntry)
-			s.fillL2(c, line, false, cache.TLBEntry)
-		}
-		if ok {
-			s.res.Resolved[ResPOM]++
-			entry, found = e, true
-		}
-		return found
-	}
-
-	if !try(predSize) {
-		first = false
-		try(predSize.Other())
+	// Only the first probe's cache outcome trains the bypass predictor:
+	// the predicted size is the one the MMU would have issued.
+	entry, found, firstCachesHit := s.pomProbe(c, va, predSize, probeCaches, useCaches)
+	if !found {
+		entry, found, _ = s.pomProbe(c, va, predSize.Other(), probeCaches, useCaches)
 	}
 
 	var out tlb.Entry
@@ -196,7 +130,9 @@ func (s *System) pomPath(c *coreState, va addr.VA) tlb.Entry {
 		if s.cfg.NeighborPrefetch {
 			// §6 extension: the burst carried the whole set — install the
 			// neighbouring pages' translations into the L2 TLB for free.
-			for _, ne := range s.pom.Partition(actual).SetEntries(va, c.vmid) {
+			// SetView aliases the live set (no copy); entries are only
+			// read within this loop.
+			for _, ne := range s.pom.Partition(actual).SetView(va, c.vmid) {
 				if ne.Valid && ne.VM == c.vmid && ne.PID == c.pid && ne.VPN != entry.VPN {
 					c.l2tlb.Insert(tlb.Entry{VM: c.vmid, PID: c.pid,
 						VPN: ne.VPN, PFN: ne.PFN, Size: ne.Size, Valid: true})
@@ -246,6 +182,58 @@ func (s *System) pomPath(c *coreState, va addr.VA) tlb.Entry {
 	return out
 }
 
+// pomProbe probes one POM-TLB partition for va: the L2D$/L3D$ probes of
+// the addressable set (when enabled), then the die-stacked DRAM.
+// cachesHit reports whether the set line was found in the data caches —
+// the signal the bypass predictor is scored against. A cached set is
+// authoritative for its size: a search miss there still ends the probe.
+func (s *System) pomProbe(c *coreState, va addr.VA, size addr.PageSize, probeCaches, useCaches bool) (entry pomtlb.Entry, found, cachesHit bool) {
+	part := s.pom.Partition(size)
+	setAddr := part.SetAddr(va, c.vmid)
+	line := setAddr.Line()
+	if probeCaches {
+		// The MMU issues the set address to the L2D$ first (2.1.3).
+		c.now += c.l2.Latency()
+		if c.l2.Access(line, false, cache.TLBEntry) {
+			s.res.L2DProbe.Hit()
+			if e, ok := part.Search(c.vmid, c.pid, va); ok {
+				s.res.Resolved[ResL2D]++
+				return e, true, true
+			}
+			return pomtlb.Entry{}, false, true
+		}
+		s.res.L2DProbe.Miss()
+		c.now += s.l3.Latency()
+		if s.l3.Access(line, false, cache.TLBEntry) {
+			s.res.L3DProbe.Hit()
+			s.fillL2(c, line, false, cache.TLBEntry)
+			if e, ok := part.Search(c.vmid, c.pid, va); ok {
+				s.res.Resolved[ResL3D]++
+				return e, true, true
+			}
+			return pomtlb.Entry{}, false, true
+		}
+		s.res.L3DProbe.Miss()
+	}
+	dres := s.pom.AccessDRAM(c.now, setAddr, part.LinesPerSet(), false)
+	c.now += dres.Latency
+	e, ok := part.Search(c.vmid, c.pid, va)
+	s.res.POMDRAM.Record(ok)
+	if useCaches {
+		// Like data misses, fetched sets fill into the caches — even
+		// on the bypass path (bypass skips the lookups, not the fill;
+		// without the fill a bypassed region could never become
+		// cache-resident again and the predictor would lock in).
+		s.fillL3(c, line, false, cache.TLBEntry)
+		s.fillL2(c, line, false, cache.TLBEntry)
+	}
+	if ok {
+		s.res.Resolved[ResPOM]++
+		return e, true, false
+	}
+	return pomtlb.Entry{}, false, false
+}
+
 // sharedPath is the Shared_L2 comparison scheme: one SRAM TLB with the
 // combined capacity of all cores' private L2 TLBs, probed before walking.
 func (s *System) sharedPath(c *coreState, va addr.VA) tlb.Entry {
@@ -262,23 +250,27 @@ func (s *System) sharedPath(c *coreState, va addr.VA) tlb.Entry {
 	return e
 }
 
+// tsbProbe issues one TSB probe for va at the given page size: the
+// in-memory buffer entry is read through the data caches like any load,
+// then looked up logically.
+func (s *System) tsbProbe(c *coreState, va addr.VA, size addr.PageSize) (uint64, bool) {
+	s.dataAccess(c, s.tsbB.EntryAddr(c.vmid, va, size), false, cache.Data)
+	return s.tsbB.Lookup(c.vmid, c.pid, va, size)
+}
+
 // tsbPath is the SPARC-style scheme: trap to the OS, probe the
 // direct-mapped TSB in memory (through the data caches, like any load) for
 // each page size, pay the extra host-dimension access on a virtualized
 // hit, and fall back to a software walk.
 func (s *System) tsbPath(c *coreState, va addr.VA) tlb.Entry {
 	c.now += s.cfg.TSBCfg.TrapCycles
-	probe := func(size addr.PageSize) (uint64, bool) {
-		s.dataAccess(c, s.tsbB.EntryAddr(c.vmid, va, size), false, cache.Data)
-		return s.tsbB.Lookup(c.vmid, c.pid, va, size)
-	}
 	// The miss handler knows the region's mapping size most of the time;
 	// model that with the same page-size predictor the POM-TLB uses.
 	size := c.pred.PredictSize(va)
-	pfn, ok := probe(size)
+	pfn, ok := s.tsbProbe(c, va, size)
 	if !ok {
 		size = size.Other()
-		pfn, ok = probe(size)
+		pfn, ok = s.tsbProbe(c, va, size)
 	}
 	if ok {
 		if s.cfg.Virtualized {

@@ -186,6 +186,12 @@ type Shadow interface {
 	Access(a addr.HPA, write bool, refreshes uint64, res Result)
 }
 
+// hook wraps an attached Shadow behind a concrete pointer: the
+// unobserved hot path pays a single-word nil check instead of a
+// two-word interface comparison, and the virtual call sits behind a
+// branch the CPU predicts never-taken when no oracle is attached.
+type hook struct{ s Shadow }
+
 // Channel is one independently-timed DRAM channel.
 type Channel struct {
 	cfg     Config
@@ -197,7 +203,7 @@ type Channel struct {
 	colBits     uint // log2(lines per row)
 	bankMask    uint64
 	stats       Stats
-	shadow      Shadow
+	shadow      *hook
 	// refreshEpochs counts retired refresh windows like stats.Refreshes
 	// but survives ResetStats, so the shadow's row-closure mirroring stays
 	// aligned with bank state (which resets never touch).
@@ -237,7 +243,13 @@ func MustNew(cfg Config) *Channel {
 func (ch *Channel) Config() Config { return ch.cfg }
 
 // SetShadow attaches (or, with nil, detaches) a lockstep observer.
-func (ch *Channel) SetShadow(s Shadow) { ch.shadow = s }
+func (ch *Channel) SetShadow(s Shadow) {
+	if s == nil {
+		ch.shadow = nil
+		return
+	}
+	ch.shadow = &hook{s}
+}
 
 // decompose maps a physical address onto (bank, row, column). Consecutive
 // cache lines share a row until the row is exhausted, then move to the next
@@ -359,7 +371,7 @@ func (ch *Channel) Access(now uint64, a addr.HPA, write bool) Result {
 
 	res := Result{Latency: total, RowBufferHit: hit, Bank: bi, Row: row}
 	if ch.shadow != nil {
-		ch.shadow.Access(a, write, ch.refreshEpochs, res)
+		ch.shadow.s.Access(a, write, ch.refreshEpochs, res)
 	}
 	return res
 }

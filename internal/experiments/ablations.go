@@ -37,12 +37,12 @@ func sweep(ctx context.Context, base Options, labels []string, variant func(Opti
 		opts := variant(base, i)
 		opts.Checkpoint = nil // ablation variants have their own fingerprints
 		r := NewRunner(opts)
-		_ = r.PrefetchContext(ctx, ablationWorkloads, []core.Mode{core.POMTLB})
+		_ = r.Prefetch(ctx, ablationWorkloads, []core.Mode{core.POMTLB})
 		var speedups []float64
 		var penSum, elimSum float64
 		n := 0
 		for _, name := range ablationWorkloads {
-			res, err := r.ResultContext(ctx, name, core.POMTLB)
+			res, err := r.Result(ctx, name, core.POMTLB)
 			if err != nil {
 				fs.record(err, name, core.POMTLB)
 				continue
@@ -77,12 +77,7 @@ func sweep(ctx context.Context, base Options, labels []string, variant func(Opti
 
 // AblationCapacity reproduces §4.6: POM-TLB capacity 8/16/32 MB changes
 // the improvement by under a percent.
-func AblationCapacity(base Options) ([]AblationPoint, error) {
-	return AblationCapacityContext(context.Background(), base)
-}
-
-// AblationCapacityContext is AblationCapacity with cancellation.
-func AblationCapacityContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationCapacity(ctx context.Context, base Options) ([]AblationPoint, error) {
 	sizes := []uint64{8 << 20, 16 << 20, 32 << 20}
 	return sweep(ctx, base, []string{"8MB", "16MB", "32MB"}, func(o Options, i int) Options {
 		o.POMSizeBytes = sizes[i]
@@ -92,12 +87,7 @@ func AblationCapacityContext(ctx context.Context, base Options) ([]AblationPoint
 
 // AblationCores reproduces §4.6: core counts 4/8/16 leave the improvement
 // approximately unchanged (the POM-TLB is large enough for all of them).
-func AblationCores(base Options) ([]AblationPoint, error) {
-	return AblationCoresContext(context.Background(), base)
-}
-
-// AblationCoresContext is AblationCores with cancellation.
-func AblationCoresContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationCores(ctx context.Context, base Options) ([]AblationPoint, error) {
 	cores := []int{4, 8, 16}
 	return sweep(ctx, base, []string{"4 cores", "8 cores", "16 cores"}, func(o Options, i int) Options {
 		o.Cores = cores[i]
@@ -107,12 +97,7 @@ func AblationCoresContext(ctx context.Context, base Options) ([]AblationPoint, e
 
 // AblationAssociativity sweeps the POM-TLB associativity (the paper: below
 // 4 ways, conflict misses rise sharply; 4 ways fits exactly one burst).
-func AblationAssociativity(base Options) ([]AblationPoint, error) {
-	return AblationAssociativityContext(context.Background(), base)
-}
-
-// AblationAssociativityContext is AblationAssociativity with cancellation.
-func AblationAssociativityContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationAssociativity(ctx context.Context, base Options) ([]AblationPoint, error) {
 	ways := []int{1, 2, 4, 8}
 	return sweep(ctx, base, []string{"1-way", "2-way", "4-way", "8-way"}, func(o Options, i int) Options {
 		o.POMWays = ways[i]
@@ -122,12 +107,7 @@ func AblationAssociativityContext(ctx context.Context, base Options) ([]Ablation
 
 // AblationBypass compares the bypass predictor against forcing every
 // access through the cache probes.
-func AblationBypass(base Options) ([]AblationPoint, error) {
-	return AblationBypassContext(context.Background(), base)
-}
-
-// AblationBypassContext is AblationBypass with cancellation.
-func AblationBypassContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationBypass(ctx context.Context, base Options) ([]AblationPoint, error) {
 	return sweep(ctx, base, []string{"predictor", "never-bypass"}, func(o Options, i int) Options {
 		o.DisableBypass = i == 1
 		return o
@@ -137,12 +117,7 @@ func AblationBypassContext(ctx context.Context, base Options) ([]AblationPoint, 
 // AblationTLBAwareCaching explores the Section 5.1 proposal: cache
 // replacement that prioritizes retaining POM-TLB entries (or data) in the
 // L2/L3 data caches.
-func AblationTLBAwareCaching(base Options) ([]AblationPoint, error) {
-	return AblationTLBAwareCachingContext(context.Background(), base)
-}
-
-// AblationTLBAwareCachingContext is AblationTLBAwareCaching with cancellation.
-func AblationTLBAwareCachingContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationTLBAwareCaching(ctx context.Context, base Options) ([]AblationPoint, error) {
 	prios := []cache.Priority{cache.NoPriority, cache.PreferTLB, cache.PreferData}
 	return sweep(ctx, base, []string{"kind-blind", "prefer-tlb", "prefer-data"}, func(o Options, i int) Options {
 		o.CachePriority = prios[i]
@@ -152,12 +127,7 @@ func AblationTLBAwareCachingContext(ctx context.Context, base Options) ([]Ablati
 
 // AblationNeighborPrefetch explores the Section 6 prefetch extension:
 // installing a fetched burst's neighbouring translations into the L2 TLB.
-func AblationNeighborPrefetch(base Options) ([]AblationPoint, error) {
-	return AblationNeighborPrefetchContext(context.Background(), base)
-}
-
-// AblationNeighborPrefetchContext is AblationNeighborPrefetch with cancellation.
-func AblationNeighborPrefetchContext(ctx context.Context, base Options) ([]AblationPoint, error) {
+func AblationNeighborPrefetch(ctx context.Context, base Options) ([]AblationPoint, error) {
 	return sweep(ctx, base, []string{"no-prefetch", "neighbor-prefetch"}, func(o Options, i int) Options {
 		o.NeighborPrefetch = i == 1
 		return o
@@ -166,12 +136,7 @@ func AblationNeighborPrefetchContext(ctx context.Context, base Options) ([]Ablat
 
 // MultiVMStudy reproduces §5.2: several VMs sharing one POM-TLB still see
 // high walk elimination because the large TLB holds all VMs' hot sets.
-func MultiVMStudy(base Options, vmCounts []int) ([]AblationPoint, error) {
-	return MultiVMStudyContext(context.Background(), base, vmCounts)
-}
-
-// MultiVMStudyContext is MultiVMStudy with cancellation.
-func MultiVMStudyContext(ctx context.Context, base Options, vmCounts []int) ([]AblationPoint, error) {
+func MultiVMStudy(ctx context.Context, base Options, vmCounts []int) ([]AblationPoint, error) {
 	labels := make([]string, len(vmCounts))
 	for i, v := range vmCounts {
 		labels[i] = strconv.Itoa(v) + " VMs"

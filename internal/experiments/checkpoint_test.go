@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -105,7 +106,7 @@ func TestRunnerServesCheckpointedCells(t *testing.T) {
 	}
 	opts.Checkpoint = cp
 	r := NewRunner(opts)
-	got, err := r.Result("gups", core.POMTLB)
+	got, err := r.Result(context.Background(), "gups", core.POMTLB)
 	if err != nil {
 		t.Fatal(err)
 	}

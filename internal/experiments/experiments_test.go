@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -18,11 +19,11 @@ func quick() Options {
 
 func TestRunnerMemoizes(t *testing.T) {
 	r := NewRunner(quick())
-	a, err := r.Result("gups", core.POMTLB)
+	a, err := r.Result(context.Background(), "gups", core.POMTLB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Result("gups", core.POMTLB)
+	b, err := r.Result(context.Background(), "gups", core.POMTLB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestRunnerMemoizes(t *testing.T) {
 
 func TestRunnerUnknownWorkload(t *testing.T) {
 	r := NewRunner(quick())
-	if _, err := r.Result("nope", core.POMTLB); err == nil {
+	if _, err := r.Result(context.Background(), "nope", core.POMTLB); err == nil {
 		t.Error("unknown workload should error")
 	}
 }
@@ -173,7 +174,7 @@ func TestTables(t *testing.T) {
 func TestAblationCapacityInsensitive(t *testing.T) {
 	o := quick()
 	o.Workloads = nil // sweep uses its own subset
-	pts, err := AblationCapacity(o)
+	pts, err := AblationCapacity(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestAblationCapacityInsensitive(t *testing.T) {
 }
 
 func TestAblationAssociativity(t *testing.T) {
-	pts, err := AblationAssociativity(quick())
+	pts, err := AblationAssociativity(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestAblationAssociativity(t *testing.T) {
 }
 
 func TestMultiVMStudy(t *testing.T) {
-	pts, err := MultiVMStudy(quick(), []int{1, 2})
+	pts, err := MultiVMStudy(context.Background(), quick(), []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestRenderBars(t *testing.T) {
 }
 
 func TestAblationTLBAwareCaching(t *testing.T) {
-	pts, err := AblationTLBAwareCaching(quick())
+	pts, err := AblationTLBAwareCaching(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestAblationTLBAwareCaching(t *testing.T) {
 }
 
 func TestAblationNeighborPrefetch(t *testing.T) {
-	pts, err := AblationNeighborPrefetch(quick())
+	pts, err := AblationNeighborPrefetch(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}

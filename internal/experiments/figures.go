@@ -39,11 +39,11 @@ func Figure2(r *Runner) ([]Fig2Row, error) {
 func Figure2Context(ctx context.Context, r *Runner) ([]Fig2Row, error) {
 	// Warm the grid concurrently; per-cell failures resurface from
 	// ResultContext below, where they are attributed row by row.
-	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
+	_ = r.Prefetch(ctx, r.names(), []core.Mode{core.Baseline})
 	var fs failureSet
 	var rows []Fig2Row
 	for _, p := range r.workloads() {
-		res, err := r.ResultContext(ctx, p.Name, core.Baseline)
+		res, err := r.Result(ctx, p.Name, core.Baseline)
 		if err != nil {
 			fs.record(err, p.Name, core.Baseline)
 			continue
@@ -78,17 +78,17 @@ func Figure3Context(ctx context.Context, r *Runner) ([]Fig3Row, error) {
 	nativeOpts.Virtualized = false
 	nativeOpts.Checkpoint = nil // different fingerprint; never share the journal
 	nr := NewRunner(nativeOpts)
-	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
-	_ = nr.PrefetchContext(ctx, r.names(), []core.Mode{core.Baseline})
+	_ = r.Prefetch(ctx, r.names(), []core.Mode{core.Baseline})
+	_ = nr.Prefetch(ctx, r.names(), []core.Mode{core.Baseline})
 	var fs failureSet
 	var rows []Fig3Row
 	for _, p := range r.workloads() {
-		virt, err := r.ResultContext(ctx, p.Name, core.Baseline)
+		virt, err := r.Result(ctx, p.Name, core.Baseline)
 		if err != nil {
 			fs.record(err, p.Name, core.Baseline)
 			continue
 		}
-		nat, err := nr.ResultContext(ctx, p.Name, core.Baseline)
+		nat, err := nr.Result(ctx, p.Name, core.Baseline)
 		if err != nil {
 			fs.record(err, p.Name, core.Baseline)
 			continue
@@ -131,7 +131,7 @@ func Figure8(r *Runner) ([]Fig8Row, Fig8Summary, error) {
 // from both the rows and the geomeans, and reported in the error.
 func Figure8Context(ctx context.Context, r *Runner) ([]Fig8Row, Fig8Summary, error) {
 	modes := []core.Mode{core.POMTLB, core.SharedL2, core.TSB}
-	_ = r.PrefetchContext(ctx, r.names(), modes)
+	_ = r.Prefetch(ctx, r.names(), modes)
 	var fs failureSet
 	var rows []Fig8Row
 	var pomS, shS, tsbS []float64
@@ -151,7 +151,7 @@ func Figure8Context(ctx context.Context, r *Runner) ([]Fig8Row, Fig8Summary, err
 		speedups := make([]float64, len(slots))
 		ok := true
 		for i, sl := range slots {
-			res, err := r.ResultContext(ctx, p.Name, sl.mode)
+			res, err := r.Result(ctx, p.Name, sl.mode)
 			if err != nil {
 				fs.record(err, p.Name, sl.mode)
 				ok = false
@@ -217,11 +217,11 @@ func Figure9(r *Runner) ([]Fig9Row, error) {
 
 // Figure9Context is Figure9 with cancellation and graceful degradation.
 func Figure9Context(ctx context.Context, r *Runner) ([]Fig9Row, error) {
-	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	_ = r.Prefetch(ctx, r.names(), []core.Mode{core.POMTLB})
 	var fs failureSet
 	var rows []Fig9Row
 	for _, p := range r.workloads() {
-		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
+		res, err := r.Result(ctx, p.Name, core.POMTLB)
 		if err != nil {
 			fs.record(err, p.Name, core.POMTLB)
 			continue
@@ -253,11 +253,11 @@ func Figure10(r *Runner) ([]Fig10Row, error) {
 
 // Figure10Context is Figure10 with cancellation and graceful degradation.
 func Figure10Context(ctx context.Context, r *Runner) ([]Fig10Row, error) {
-	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	_ = r.Prefetch(ctx, r.names(), []core.Mode{core.POMTLB})
 	var fs failureSet
 	var rows []Fig10Row
 	for _, p := range r.workloads() {
-		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
+		res, err := r.Result(ctx, p.Name, core.POMTLB)
 		if err != nil {
 			fs.record(err, p.Name, core.POMTLB)
 			continue
@@ -287,11 +287,11 @@ func Figure11(r *Runner) ([]Fig11Row, error) {
 
 // Figure11Context is Figure11 with cancellation and graceful degradation.
 func Figure11Context(ctx context.Context, r *Runner) ([]Fig11Row, error) {
-	_ = r.PrefetchContext(ctx, r.names(), []core.Mode{core.POMTLB})
+	_ = r.Prefetch(ctx, r.names(), []core.Mode{core.POMTLB})
 	var fs failureSet
 	var rows []Fig11Row
 	for _, p := range r.workloads() {
-		res, err := r.ResultContext(ctx, p.Name, core.POMTLB)
+		res, err := r.Result(ctx, p.Name, core.POMTLB)
 		if err != nil {
 			fs.record(err, p.Name, core.POMTLB)
 			continue
@@ -321,7 +321,7 @@ func Figure12(r *Runner) ([]Fig12Row, float64, float64, error) {
 // Figure12Context is Figure12 with cancellation and graceful degradation.
 func Figure12Context(ctx context.Context, r *Runner) ([]Fig12Row, float64, float64, error) {
 	modes := []core.Mode{core.POMTLB, core.POMTLBNoCache}
-	_ = r.PrefetchContext(ctx, r.names(), modes)
+	_ = r.Prefetch(ctx, r.names(), modes)
 	var fs failureSet
 	var rows []Fig12Row
 	var with, without []float64
@@ -330,7 +330,7 @@ func Figure12Context(ctx context.Context, r *Runner) ([]Fig12Row, float64, float
 		var sp [2]float64
 		ok := true
 		for i, m := range modes {
-			res, err := r.ResultContext(ctx, p.Name, m)
+			res, err := r.Result(ctx, p.Name, m)
 			if err != nil {
 				fs.record(err, p.Name, m)
 				ok = false

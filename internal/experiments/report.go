@@ -148,31 +148,31 @@ func ReportContext(ctx context.Context, w io.Writer, opts Options, ablations boo
 			fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 		}
 
-		cap, err := AblationCapacityContext(ctx, opts)
+		cap, err := AblationCapacity(ctx, opts)
 		fs.absorb(err)
 		writeAbl("Ablation §4.6a — POM-TLB capacity", "Paper: 8/16/32 MB changes results < 1%.", cap)
 
-		cores, err := AblationCoresContext(ctx, opts)
+		cores, err := AblationCores(ctx, opts)
 		fs.absorb(err)
 		writeAbl("Ablation §4.6b — core count", "Paper: 4–32 cores leave the improvement ≈ unchanged.", cores)
 
-		assoc, err := AblationAssociativityContext(ctx, opts)
+		assoc, err := AblationAssociativity(ctx, opts)
 		fs.absorb(err)
 		writeAbl("Ablation — associativity", "Paper: < 4 ways causes significantly more conflict misses.", assoc)
 
-		byp, err := AblationBypassContext(ctx, opts)
+		byp, err := AblationBypass(ctx, opts)
 		fs.absorb(err)
 		writeAbl("Ablation — bypass predictor", "Bypass predictor vs always probing the caches.", byp)
 
-		aware, err := AblationTLBAwareCachingContext(ctx, opts)
+		aware, err := AblationTLBAwareCaching(ctx, opts)
 		fs.absorb(err)
 		writeAbl("§5.1 — TLB-aware caching", "Replacement priority for POM-TLB entries vs data in L2/L3.", aware)
 
-		pref, err := AblationNeighborPrefetchContext(ctx, opts)
+		pref, err := AblationNeighborPrefetch(ctx, opts)
 		fs.absorb(err)
 		writeAbl("§6 — burst-neighbour prefetch", "Install the fetched set's other translations into the L2 TLB.", pref)
 
-		mvm, err := MultiVMStudyContext(ctx, opts, []int{1, 2, 4})
+		mvm, err := MultiVMStudy(ctx, opts, []int{1, 2, 4})
 		fs.absorb(err)
 		writeAbl("§5.2 — multiple VMs sharing the POM-TLB", "The large TLB retains several VMs' translations at once.", mvm)
 

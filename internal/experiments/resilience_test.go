@@ -128,12 +128,12 @@ func TestMidCampaignCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if _, err := r.ResultContext(ctx, "streamcluster", core.POMTLB); err != nil {
+	if _, err := r.Result(ctx, "streamcluster", core.POMTLB); err != nil {
 		t.Fatal(err)
 	}
 	cancel()
 
-	err = r.PrefetchContext(ctx, []string{"streamcluster", "gups", "mcf"}, []core.Mode{core.POMTLB})
+	err = r.Prefetch(ctx, []string{"streamcluster", "gups", "mcf"}, []core.Mode{core.POMTLB})
 	var ce *CampaignError
 	if !errors.As(err, &ce) {
 		t.Fatalf("cancelled campaign returned %T, want *CampaignError", err)
@@ -151,7 +151,7 @@ func TestMidCampaignCancellation(t *testing.T) {
 	}
 
 	// The completed cell is still served (memoized) after cancellation.
-	if _, err := r.ResultContext(context.Background(), "streamcluster", core.POMTLB); err != nil {
+	if _, err := r.Result(context.Background(), "streamcluster", core.POMTLB); err != nil {
 		t.Errorf("completed cell lost after cancellation: %v", err)
 	}
 	// The checkpoint holds exactly the finished cell.
@@ -180,7 +180,7 @@ func TestDRAMFaultRecovered(t *testing.T) {
 	opts.Faults.ErrorOn(faultinject.DRAMSite, sentinel, 1)
 	r := NewRunner(opts)
 
-	_, err := r.ResultContext(context.Background(), "gups", core.POMTLB)
+	_, err := r.Result(context.Background(), "gups", core.POMTLB)
 	if err == nil {
 		t.Fatal("injected DRAM fault did not fail the cell")
 	}
@@ -205,7 +205,7 @@ func TestTraceCorruptionSeamFires(t *testing.T) {
 	opts.Faults.CorruptOn(faultinject.TraceSite, 5)
 	r := NewRunner(opts)
 
-	if _, err := r.ResultContext(context.Background(), "gups", core.POMTLB); err != nil {
+	if _, err := r.Result(context.Background(), "gups", core.POMTLB); err != nil {
 		t.Fatalf("corrupted record must not fail the run: %v", err)
 	}
 	want := uint64(opts.WarmupRefs + opts.MaxRefs)
@@ -223,7 +223,7 @@ func TestWorkloadTimeout(t *testing.T) {
 	opts.WorkloadTimeout = time.Nanosecond
 	r := NewRunner(opts)
 
-	_, err := r.ResultContext(context.Background(), "mcf", core.POMTLB)
+	_, err := r.Result(context.Background(), "mcf", core.POMTLB)
 	if err == nil {
 		t.Fatal("1ns deadline did not fail the cell")
 	}

@@ -180,16 +180,11 @@ func NewRunner(opts Options) *Runner {
 func (r *Runner) Options() Options { return r.opts }
 
 // Result simulates (or returns the memoized result of) one workload under
-// one scheme.
-func (r *Runner) Result(name string, mode core.Mode) (core.Result, error) {
-	return r.ResultContext(context.Background(), name, mode)
-}
-
-// ResultContext is Result with campaign cancellation and the full
-// resilience path: checkpointed cells are served without re-simulating;
-// fresh cells run under the per-workload timeout with panic recovery, and
-// failures come back as structured *WorkloadError values.
-func (r *Runner) ResultContext(ctx context.Context, name string, mode core.Mode) (core.Result, error) {
+// one scheme, with campaign cancellation and the full resilience path:
+// checkpointed cells are served without re-simulating; fresh cells run
+// under the per-workload timeout with panic recovery, and failures come
+// back as structured *WorkloadError values.
+func (r *Runner) Result(ctx context.Context, name string, mode core.Mode) (core.Result, error) {
 	if res, ok := r.opts.Checkpoint.Get(name, mode); ok {
 		return res, nil
 	}
@@ -260,7 +255,7 @@ func SimulateCell(ctx context.Context, opts Options, name string, mode core.Mode
 			sc = sys.EnableSelfCheck()
 		}
 		gen := faultinject.Wrap(p.Generator(opts.Cores, opts.Seed), opts.Faults)
-		res, err = sys.RunContext(ctx, gen, name)
+		res, err = sys.Run(ctx, gen, name)
 		if err != nil {
 			return err
 		}
@@ -305,17 +300,12 @@ func (r *Runner) names() []string {
 	return out
 }
 
-// Prefetch runs the given (workload × mode) grid concurrently so later
-// figure extraction is instant.
-func (r *Runner) Prefetch(names []string, modes []core.Mode) error {
-	return r.PrefetchContext(context.Background(), names, modes)
-}
-
-// PrefetchContext runs the grid concurrently under ctx, waiting for every
-// cell. Unlike a fail-fast errgroup, it always drains the whole grid —
-// one failed cell must not abandon the others' in-flight work — and
-// aggregates every failure into a *CampaignError (nil when clean).
-func (r *Runner) PrefetchContext(ctx context.Context, names []string, modes []core.Mode) error {
+// Prefetch runs the given (workload × mode) grid concurrently under ctx
+// so later figure extraction is instant, waiting for every cell. Unlike a
+// fail-fast errgroup, it always drains the whole grid — one failed cell
+// must not abandon the others' in-flight work — and aggregates every
+// failure into a *CampaignError (nil when clean).
+func (r *Runner) Prefetch(ctx context.Context, names []string, modes []core.Mode) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var fails []*WorkloadError
@@ -324,7 +314,7 @@ func (r *Runner) PrefetchContext(ctx context.Context, names []string, modes []co
 			wg.Add(1)
 			go func(n string, m core.Mode) {
 				defer wg.Done()
-				if _, err := r.ResultContext(ctx, n, m); err != nil {
+				if _, err := r.Result(ctx, n, m); err != nil {
 					mu.Lock()
 					fails = append(fails, asWorkloadError(err, n, m))
 					mu.Unlock()

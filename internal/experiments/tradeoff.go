@@ -41,14 +41,14 @@ func TradeoffStudyContext(ctx context.Context, base Options) ([]TradeoffRow, err
 	opts.Checkpoint = nil         // different fingerprint; never share the journal
 	r := NewRunner(opts)
 	modes := []core.Mode{core.Baseline, core.L4Cache, core.POMTLB}
-	_ = r.PrefetchContext(ctx, tradeoffWorkloads, modes)
+	_ = r.Prefetch(ctx, tradeoffWorkloads, modes)
 	var fs failureSet
 	var rows []TradeoffRow
 	for _, name := range tradeoffWorkloads {
 		var cyc [3]uint64
 		ok := true
 		for i, m := range modes {
-			res, err := r.ResultContext(ctx, name, m)
+			res, err := r.Result(ctx, name, m)
 			if err != nil {
 				fs.record(err, name, m)
 				ok = false
@@ -101,11 +101,11 @@ func NativeStudyContext(ctx context.Context, base Options) ([]NativeRow, error) 
 	opts.Virtualized = false
 	opts.Checkpoint = nil // different fingerprint; never share the journal
 	r := NewRunner(opts)
-	_ = r.PrefetchContext(ctx, nativeWorkloads, []core.Mode{core.POMTLB})
+	_ = r.Prefetch(ctx, nativeWorkloads, []core.Mode{core.POMTLB})
 	var fs failureSet
 	var rows []NativeRow
 	for _, name := range nativeWorkloads {
-		res, err := r.ResultContext(ctx, name, core.POMTLB)
+		res, err := r.Result(ctx, name, core.POMTLB)
 		if err != nil {
 			fs.record(err, name, core.POMTLB)
 			continue

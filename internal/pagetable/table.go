@@ -149,6 +149,13 @@ func (t *Table) Lookup(va uint64) (Entry, bool) {
 // On a translation fault the refs up to and including the faulting entry
 // are still returned with ok = false.
 func (t *Table) Walk(va uint64) (refs []Ref, e Entry, ok bool) {
+	return t.WalkAppend(va, nil)
+}
+
+// WalkAppend is Walk appending into a caller-provided buffer (usually
+// buf[:0] of a reused scratch slice), so steady-state walks allocate
+// nothing. A radix-4 walk issues at most 4 references.
+func (t *Table) WalkAppend(va uint64, refs []Ref) ([]Ref, Entry, bool) {
 	n := t.root
 	for l := addr.PML4; l <= addr.PT; l++ {
 		if n == nil {
@@ -169,10 +176,15 @@ func (t *Table) Walk(va uint64) (refs []Ref, e Entry, ok bool) {
 // the provided node (whose base address a PSC supplied), and only levels
 // from startLevel down are referenced.
 func (t *Table) WalkFrom(va uint64, startLevel addr.Level, nodeBase uint64) (refs []Ref, e Entry, ok bool) {
+	return t.WalkFromAppend(va, startLevel, nodeBase, nil)
+}
+
+// WalkFromAppend is WalkFrom appending into a caller-provided buffer.
+func (t *Table) WalkFromAppend(va uint64, startLevel addr.Level, nodeBase uint64, refs []Ref) ([]Ref, Entry, bool) {
 	n := t.findNode(va, startLevel)
 	if n == nil || n.base != nodeBase {
 		// Stale PSC entry: fall back to a full walk.
-		return t.Walk(va)
+		return t.WalkAppend(va, refs)
 	}
 	for l := startLevel; l <= addr.PT; l++ {
 		if n == nil {

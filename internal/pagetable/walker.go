@@ -92,6 +92,12 @@ type Walker struct {
 	nested *NestedTLB
 	mem    MemFunc
 	stats  WalkStats
+	// grefs and hrefs are reusable walk scratch buffers (guest/native
+	// dimension and host dimension respectively), so steady-state walks
+	// allocate nothing. They are distinct because the host dimension is
+	// walked while iterating the guest dimension's refs.
+	grefs []Ref
+	hrefs []Ref
 }
 
 // NewWalker builds a walker. mem must not be nil.
@@ -106,6 +112,8 @@ func NewWalker(cfg WalkerConfig, mem MemFunc) *Walker {
 		pdec:   NewPSC("PDE", cfg.PDEEntries),
 		nested: NewNestedTLB(cfg.NestedTLB),
 		mem:    mem,
+		grefs:  make([]Ref, 0, 8),
+		hrefs:  make([]Ref, 0, 8),
 	}
 }
 
@@ -193,7 +201,8 @@ func (w *Walker) hostTranslate(host *Table, vm addr.VMID, gpa uint64) (hpa uint6
 	if hbase, hit := w.nested.Lookup(vm, gpfn); hit {
 		return hbase | gpa&(addr.Bytes4K-1), lat, 0, true
 	}
-	hrefs, e, ok := host.Walk(gpa)
+	hrefs, e, ok := host.WalkAppend(gpa, w.hrefs[:0])
+	w.hrefs = hrefs[:0]
 	for _, r := range hrefs {
 		lat += w.mem(addr.HPA(r.Addr), false)
 	}
@@ -218,7 +227,8 @@ func (w *Walker) Translate2D(guest, host *Table, vm addr.VMID, pid addr.PID, va 
 	res.Latency = w.cfg.PSCLatency // PSC probe round
 	startLevel, cachedNode, pscHit := w.pscStart(vm, pid, va)
 
-	grefs, gleaf, ok := guest.Walk(uint64(va))
+	grefs, gleaf, ok := guest.WalkAppend(uint64(va), w.grefs[:0])
+	w.grefs = grefs[:0]
 	if !ok {
 		res.Latency += w.walkRefs2D(host, vm, grefs)
 		res.Refs = len(grefs)
@@ -301,13 +311,14 @@ func (w *Walker) TranslateNative(table *Table, vm addr.VMID, pid addr.PID, va ad
 	var leaf Entry
 	var ok bool
 	if pscHit {
-		refs, leaf, ok = table.WalkFrom(uint64(va), startLevel, cachedNode)
+		refs, leaf, ok = table.WalkFromAppend(uint64(va), startLevel, cachedNode, w.grefs[:0])
 		if len(refs) > 0 && refs[0].Level == startLevel {
 			w.stats.PSCSkips += uint64(startLevel)
 		}
 	} else {
-		refs, leaf, ok = table.Walk(uint64(va))
+		refs, leaf, ok = table.WalkAppend(uint64(va), w.grefs[:0])
 	}
+	w.grefs = refs[:0]
 	for _, r := range refs {
 		res.Latency += w.mem(addr.HPA(r.Addr), false)
 	}

@@ -71,25 +71,39 @@ type Shadow interface {
 	InvalidateVM(vm addr.VMID, n int)
 }
 
+// hook wraps an attached Shadow behind a concrete pointer: the
+// unobserved hot path pays a single-word nil check instead of a
+// two-word interface comparison, and the virtual call sits behind a
+// branch the CPU predicts never-taken when no oracle is attached.
+type hook struct{ s Shadow }
+
 // Partition is one of the two physically-partitioned structures
 // (POM_TLB_Small or POM_TLB_Large): a set-associative array of complete
 // translations, mapped at a contiguous physical address range so its sets
-// can be cached in the data caches.
+// can be cached in the data caches. All entries live in one contiguous
+// array; set i occupies entries[i*ways : (i+1)*ways], mirroring the
+// physical layout of Figure 5.
 type Partition struct {
 	PageSize addr.PageSize
 	base     uint64
 	ways     int
 	numSets  uint64
 	setBytes uint64
-	sets     [][]Entry
+	entries  []Entry
 	lookups  stats.HitMiss
 	inserts  uint64
 	count    int
-	shadow   Shadow
+	shadow   *hook
 }
 
 // SetShadow attaches (or, with nil, detaches) a lockstep observer.
-func (p *Partition) SetShadow(s Shadow) { p.shadow = s }
+func (p *Partition) SetShadow(s Shadow) {
+	if s == nil {
+		p.shadow = nil
+		return
+	}
+	p.shadow = &hook{s}
+}
 
 // newPartition carves numSets sets out of the address range at base.
 func newPartition(size addr.PageSize, base uint64, bytes uint64, ways int) *Partition {
@@ -102,19 +116,20 @@ func newPartition(size addr.PageSize, base uint64, bytes uint64, ways int) *Part
 	if n == 0 {
 		panic(fmt.Sprintf("pomtlb: partition too small for even one %d-way set", ways))
 	}
-	sets := make([][]Entry, n)
-	backing := make([]Entry, n*uint64(ways))
-	for i := range sets {
-		sets[i], backing = backing[:ways], backing[ways:]
-	}
 	return &Partition{
 		PageSize: size,
 		base:     base,
 		ways:     ways,
 		numSets:  n,
 		setBytes: setBytes,
-		sets:     sets,
+		entries:  make([]Entry, n*uint64(ways)),
 	}
+}
+
+// set returns the ways of set i.
+func (p *Partition) set(i uint64) []Entry {
+	w := i * uint64(p.ways)
+	return p.entries[w : w+uint64(p.ways)]
 }
 
 // Sets returns the number of sets.
@@ -188,20 +203,20 @@ func ageAllExcept(set []Entry, touched int) {
 // is the associative comparison done on the fetched 64 B burst.
 func (p *Partition) Search(vm addr.VMID, pid addr.PID, va addr.VA) (Entry, bool) {
 	vpn := va.VPN(p.PageSize)
-	set := p.sets[p.SetIndex(va, vm)]
+	set := p.set(p.SetIndex(va, vm))
 	for i := range set {
 		if set[i].matches(vm, pid, vpn) {
 			ageAllExcept(set, i)
 			p.lookups.Hit()
 			if p.shadow != nil {
-				p.shadow.Search(vm, pid, va, true, set[i])
+				p.shadow.s.Search(vm, pid, va, true, set[i])
 			}
 			return set[i], true
 		}
 	}
 	p.lookups.Miss()
 	if p.shadow != nil {
-		p.shadow.Search(vm, pid, va, false, Entry{})
+		p.shadow.s.Search(vm, pid, va, false, Entry{})
 	}
 	return Entry{}, false
 }
@@ -213,7 +228,7 @@ func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
 	if !e.Valid || e.Size != p.PageSize {
 		panic(fmt.Sprintf("pomtlb: inserting %v into %s partition", e, p.PageSize))
 	}
-	set := p.sets[p.SetIndex(addr.VA(e.VPN<<p.PageSize.Shift()), e.VM)]
+	set := p.set(p.SetIndex(addr.VA(e.VPN<<p.PageSize.Shift()), e.VM))
 	vi := -1
 	for i := range set {
 		if set[i].matches(e.VM, e.PID, e.VPN) {
@@ -221,7 +236,7 @@ func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
 			set[i].Attr = e.Attr
 			ageAllExcept(set, i)
 			if p.shadow != nil {
-				p.shadow.Insert(e, Entry{}, false)
+				p.shadow.s.Insert(e, Entry{}, false)
 			}
 			return Entry{}, false
 		}
@@ -244,14 +259,14 @@ func (p *Partition) Insert(e Entry) (victim Entry, evicted bool) {
 	ageAllExcept(set, vi)
 	p.inserts++
 	if p.shadow != nil {
-		p.shadow.Insert(e, victim, evicted)
+		p.shadow.s.Insert(e, victim, evicted)
 	}
 	return victim, evicted
 }
 
 // InvalidatePage removes one translation (shootdown).
 func (p *Partition) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64) bool {
-	set := p.sets[p.setIndexForVPN(vpn, vm)]
+	set := p.set(p.setIndexForVPN(vpn, vm))
 	found := false
 	for i := range set {
 		if set[i].matches(vm, pid, vpn) {
@@ -262,7 +277,7 @@ func (p *Partition) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64) bool 
 		}
 	}
 	if p.shadow != nil {
-		p.shadow.InvalidatePage(vm, pid, vpn, found)
+		p.shadow.s.InvalidatePage(vm, pid, vpn, found)
 	}
 	return found
 }
@@ -271,17 +286,15 @@ func (p *Partition) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64) bool 
 // removed — required before the guest OS recycles a process ID (§2.2).
 func (p *Partition) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
 	n := 0
-	for _, set := range p.sets {
-		for i := range set {
-			if set[i].Valid && set[i].VM == vm && set[i].PID == pid {
-				set[i] = Entry{}
-				p.count--
-				n++
-			}
+	for i := range p.entries {
+		if p.entries[i].Valid && p.entries[i].VM == vm && p.entries[i].PID == pid {
+			p.entries[i] = Entry{}
+			p.count--
+			n++
 		}
 	}
 	if p.shadow != nil {
-		p.shadow.InvalidateProcess(vm, pid, n)
+		p.shadow.s.InvalidateProcess(vm, pid, n)
 	}
 	return n
 }
@@ -289,17 +302,15 @@ func (p *Partition) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
 // InvalidateVM removes every entry of a VM, returning the count removed.
 func (p *Partition) InvalidateVM(vm addr.VMID) int {
 	n := 0
-	for _, set := range p.sets {
-		for i := range set {
-			if set[i].Valid && set[i].VM == vm {
-				set[i] = Entry{}
-				p.count--
-				n++
-			}
+	for i := range p.entries {
+		if p.entries[i].Valid && p.entries[i].VM == vm {
+			p.entries[i] = Entry{}
+			p.count--
+			n++
 		}
 	}
 	if p.shadow != nil {
-		p.shadow.InvalidateVM(vm, n)
+		p.shadow.s.InvalidateVM(vm, n)
 	}
 	return n
 }
@@ -317,8 +328,8 @@ func (p *Partition) CheckInvariants() error {
 	}
 	seen := make(map[key]uint64, p.count)
 	n := 0
-	for si, set := range p.sets {
-		for wi, e := range set {
+	for si := uint64(0); si < p.numSets; si++ {
+		for wi, e := range p.set(si) {
 			if !e.Valid {
 				continue
 			}
@@ -363,17 +374,27 @@ func (p *Partition) ResetStats() {
 // prefetching extension install the neighbours into the SRAM TLBs for
 // free.
 func (p *Partition) SetEntries(va addr.VA, vm addr.VMID) []Entry {
-	set := p.sets[p.SetIndex(va, vm)]
+	set := p.SetView(va, vm)
 	out := make([]Entry, len(set))
 	copy(out, set)
 	return out
+}
+
+// SetView returns the live ways of the set va maps to — the four
+// translations that arrive together in one 64 B burst — without
+// copying. The returned slice aliases the partition's backing array and
+// must not be mutated or retained across partition mutations; the
+// record-loop caller (neighbour prefetching, §6) reads it immediately,
+// allocation-free.
+func (p *Partition) SetView(va addr.VA, vm addr.VMID) []Entry {
+	return p.set(p.SetIndex(va, vm))
 }
 
 // SetImage returns the raw 64 B-per-line memory image of a set — what a
 // cached copy of the set actually holds (Figure 5's layout).
 func (p *Partition) SetImage(setIdx uint64) []byte {
 	img := make([]byte, p.setBytes)
-	for i, e := range p.sets[setIdx] {
+	for i, e := range p.set(setIdx) {
 		b := e.Encode()
 		copy(img[i*EntryBytes:], b[:])
 	}

@@ -117,16 +117,25 @@ type slot struct {
 	lru   uint64
 }
 
+// hook wraps an attached Shadow behind a concrete pointer: the
+// unobserved hot path pays a single-word nil check instead of a
+// two-word interface comparison, and the virtual call sits behind a
+// branch the CPU predicts never-taken when no oracle is attached.
+type hook struct{ s Shadow }
+
 // TLB is a set-associative translation lookaside buffer for a single page
 // size class, or for both when used as a unified structure (the page size
-// is part of the tag and the set index is computed at each size).
+// is part of the tag and the set index is computed at each size). All
+// ways live in one contiguous slot array; set i occupies
+// slots[i*Ways : (i+1)*Ways].
 type TLB struct {
 	cfg     Config
-	sets    [][]slot
+	slots   []slot
+	ways    int
 	setMask uint64
 	clock   uint64
 	stats   stats.HitMiss
-	shadow  Shadow
+	shadow  *hook
 }
 
 // New creates a TLB, reporting configuration errors.
@@ -135,12 +144,12 @@ func New(cfg Config) (*TLB, error) {
 		return nil, err
 	}
 	n := cfg.Entries / cfg.Ways
-	sets := make([][]slot, n)
-	backing := make([]slot, cfg.Entries)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
-	return &TLB{cfg: cfg, sets: sets, setMask: uint64(n - 1)}, nil
+	return &TLB{
+		cfg:     cfg,
+		slots:   make([]slot, cfg.Entries),
+		ways:    cfg.Ways,
+		setMask: uint64(n - 1),
+	}, nil
 }
 
 // MustNew is New but panics on invalid configuration — the historical
@@ -157,13 +166,22 @@ func MustNew(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 // SetShadow attaches (or, with nil, detaches) a lockstep observer.
-func (t *TLB) SetShadow(s Shadow) { t.shadow = s }
+func (t *TLB) SetShadow(s Shadow) {
+	if s == nil {
+		t.shadow = nil
+		return
+	}
+	t.shadow = &hook{s}
+}
 
 // Latency returns the lookup latency in cycles.
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }
 
 // setFor returns the set for a VPN.
-func (t *TLB) setFor(vpn uint64) []slot { return t.sets[vpn&t.setMask] }
+func (t *TLB) setFor(vpn uint64) []slot {
+	i := (vpn & t.setMask) * uint64(t.ways)
+	return t.slots[i : i+uint64(t.ways)]
+}
 
 // lookupSize probes one page-size interpretation of va.
 func (t *TLB) lookupSize(vm addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize) (Entry, bool) {
@@ -174,13 +192,13 @@ func (t *TLB) lookupSize(vm addr.VMID, pid addr.PID, va addr.VA, size addr.PageS
 			t.clock++
 			set[i].lru = t.clock
 			if t.shadow != nil {
-				t.shadow.LookupSize(vm, pid, va, size, true, set[i].entry)
+				t.shadow.s.LookupSize(vm, pid, va, size, true, set[i].entry)
 			}
 			return set[i].entry, true
 		}
 	}
 	if t.shadow != nil {
-		t.shadow.LookupSize(vm, pid, va, size, false, Entry{})
+		t.shadow.s.LookupSize(vm, pid, va, size, false, Entry{})
 	}
 	return Entry{}, false
 }
@@ -207,7 +225,7 @@ func (t *TLB) Lookup(vm addr.VMID, pid addr.PID, va addr.VA) (Entry, bool) {
 // LookupOnly probes for a specific page size without touching statistics or
 // LRU state; used by consistency checks in tests.
 func (t *TLB) LookupOnly(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize) bool {
-	for _, s := range t.sets[vpn&t.setMask] {
+	for _, s := range t.setFor(vpn) {
 		if s.entry.matches(vm, pid, vpn, size) {
 			return true
 		}
@@ -233,7 +251,7 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 			s.entry = e // refresh (PFN may have changed after remap)
 			s.lru = t.clock
 			if t.shadow != nil {
-				t.shadow.Insert(e, Entry{}, false)
+				t.shadow.s.Insert(e, Entry{}, false)
 			}
 			return Entry{}, false
 		}
@@ -255,7 +273,7 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	s.entry = e
 	s.lru = t.clock
 	if t.shadow != nil {
-		t.shadow.Insert(e, victim, evicted)
+		t.shadow.s.Insert(e, victim, evicted)
 	}
 	return victim, evicted
 }
@@ -263,7 +281,7 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 // InvalidatePage drops one translation (TLB shootdown of a single page).
 func (t *TLB) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize) bool {
 	found := false
-	set := t.sets[vpn&t.setMask]
+	set := t.setFor(vpn)
 	for i := range set {
 		if set[i].entry.matches(vm, pid, vpn, size) {
 			set[i] = slot{}
@@ -272,7 +290,7 @@ func (t *TLB) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.P
 		}
 	}
 	if t.shadow != nil {
-		t.shadow.InvalidatePage(vm, pid, vpn, size, found)
+		t.shadow.s.InvalidatePage(vm, pid, vpn, size, found)
 	}
 	return found
 }
@@ -281,16 +299,14 @@ func (t *TLB) InvalidatePage(vm addr.VMID, pid addr.PID, vpn uint64, size addr.P
 // returns how many entries were removed.
 func (t *TLB) InvalidateVM(vm addr.VMID) int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].entry.Valid && set[i].entry.VM == vm {
-				set[i] = slot{}
-				n++
-			}
+	for i := range t.slots {
+		if t.slots[i].entry.Valid && t.slots[i].entry.VM == vm {
+			t.slots[i] = slot{}
+			n++
 		}
 	}
 	if t.shadow != nil {
-		t.shadow.InvalidateVM(vm, n)
+		t.shadow.s.InvalidateVM(vm, n)
 	}
 	return n
 }
@@ -299,41 +315,35 @@ func (t *TLB) InvalidateVM(vm addr.VMID) int {
 // a process exit requires before its PID can be recycled (§2.2).
 func (t *TLB) InvalidateProcess(vm addr.VMID, pid addr.PID) int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			e := set[i].entry
-			if e.Valid && e.VM == vm && e.PID == pid {
-				set[i] = slot{}
-				n++
-			}
+	for i := range t.slots {
+		e := t.slots[i].entry
+		if e.Valid && e.VM == vm && e.PID == pid {
+			t.slots[i] = slot{}
+			n++
 		}
 	}
 	if t.shadow != nil {
-		t.shadow.InvalidateProcess(vm, pid, n)
+		t.shadow.s.InvalidateProcess(vm, pid, n)
 	}
 	return n
 }
 
 // InvalidateAll flushes the TLB.
 func (t *TLB) InvalidateAll() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = slot{}
-		}
+	for i := range t.slots {
+		t.slots[i] = slot{}
 	}
 	if t.shadow != nil {
-		t.shadow.InvalidateAll()
+		t.shadow.s.InvalidateAll()
 	}
 }
 
 // Count returns the number of valid entries (for occupancy tests).
 func (t *TLB) Count() int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].entry.Valid {
-				n++
-			}
+	for i := range t.slots {
+		if t.slots[i].entry.Valid {
+			n++
 		}
 	}
 	return n
@@ -352,7 +362,9 @@ func (t *TLB) CheckInvariants() error {
 		size addr.PageSize
 	}
 	seen := make(map[key]uint64, t.cfg.Entries)
-	for si, set := range t.sets {
+	numSets := len(t.slots) / t.ways
+	for si := 0; si < numSets; si++ {
+		set := t.slots[si*t.ways : (si+1)*t.ways]
 		stamps := make(map[uint64]int, len(set))
 		for wi := range set {
 			e := set[wi].entry
@@ -399,9 +411,37 @@ type SplitL1 struct {
 	Huge  *TLB
 }
 
-// NewSplitL1 builds the Table 1 L1 TLB set.
-func NewSplitL1() *SplitL1 {
-	return &SplitL1{Small: MustNew(L1Small()), Large: MustNew(L1Large()), Huge: MustNew(L1Huge())}
+// NewSplitL1 builds a split L1 from per-size configurations, reporting
+// configuration errors.
+func NewSplitL1(small, large, huge Config) (*SplitL1, error) {
+	s, err := New(small)
+	if err != nil {
+		return nil, err
+	}
+	l, err := New(large)
+	if err != nil {
+		return nil, err
+	}
+	h, err := New(huge)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitL1{Small: s, Large: l, Huge: h}, nil
+}
+
+// MustNewSplitL1 is NewSplitL1 but panics on invalid configuration,
+// following the New/MustNew convention.
+func MustNewSplitL1(small, large, huge Config) *SplitL1 {
+	l, err := NewSplitL1(small, large, huge)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DefaultSplitL1 builds the Table 1 L1 TLB set.
+func DefaultSplitL1() *SplitL1 {
+	return MustNewSplitL1(L1Small(), L1Large(), L1Huge())
 }
 
 // Lookup probes all structures in parallel (single cycle in hardware).

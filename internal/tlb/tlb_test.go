@@ -178,7 +178,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestSplitL1(t *testing.T) {
-	l1 := NewSplitL1()
+	l1 := DefaultSplitL1()
 	va4 := addr.VA(0x1234_5000)
 	va2 := addr.VA(0x8000_0000)
 	l1.Insert(entry4K(1, 1, va4.VPN(addr.Page4K), 0x11))
@@ -272,7 +272,7 @@ func TestInvalidateProcess(t *testing.T) {
 }
 
 func TestSplitL1HugePages(t *testing.T) {
-	l1 := NewSplitL1()
+	l1 := DefaultSplitL1()
 	va := addr.VA(0x40_0000_0000)
 	l1.Insert(Entry{VM: 1, PID: 1, VPN: va.VPN(addr.Page1G), PFN: 0x33, Size: addr.Page1G, Valid: true})
 	if e, ok := l1.Lookup(1, 1, va+777); !ok || e.PFN != 0x33 || e.Size != addr.Page1G {
