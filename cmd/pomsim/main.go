@@ -14,6 +14,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,15 +40,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pomsim:", err)
 		os.Exit(1)
 	}
-}
-
-func parseMode(s string) (core.Mode, error) {
-	for m := core.Baseline; m <= core.TSB; m++ {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown mode %q (baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb)", s)
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -116,7 +108,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	} else {
-		m, err := parseMode(*mode)
+		m, err := core.ParseMode(*mode)
 		if err != nil {
 			return err
 		}
@@ -158,7 +150,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		replay, err := trace.LoadReplay(f)
-		if err != nil {
+		switch {
+		case errors.Is(err, trace.ErrBadMagic):
+			return fmt.Errorf("%s is not a POMTRC01 trace (%v); generate one with cmd/tracegen", *trcPath, err)
+		case errors.Is(err, trace.ErrTruncated):
+			return fmt.Errorf("%s is cut off mid-stream (%v); the recording was interrupted — regenerate it with cmd/tracegen", *trcPath, err)
+		case err != nil:
 			return err
 		}
 		gen = replay

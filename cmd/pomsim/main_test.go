@@ -12,12 +12,12 @@ import (
 )
 
 func TestParseMode(t *testing.T) {
-	for _, name := range []string{"baseline", "pom-tlb", "pom-tlb-nocache", "shared-l2", "tsb"} {
-		if _, err := parseMode(name); err != nil {
+	for _, name := range []string{"baseline", "pom-tlb", "pom-tlb-nocache", "shared-l2", "tsb", "l4-cache"} {
+		if _, err := core.ParseMode(name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := parseMode("bogus"); err == nil {
+	if _, err := core.ParseMode("bogus"); err == nil {
 		t.Error("bogus mode accepted")
 	}
 }

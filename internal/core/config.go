@@ -69,6 +69,17 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", uint8(m))
 }
 
+// ParseMode inverts String: it resolves a scheme name from a CLI flag or
+// an API request into its Mode.
+func ParseMode(s string) (Mode, error) {
+	for m := Baseline; m < numModes; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb, l4-cache)", s)
+}
+
 // Config describes one simulation.
 type Config struct {
 	// Mode is the translation scheme.

@@ -200,10 +200,23 @@ const cancelCheckInterval = 1024
 // close to where it happened.
 const selfCheckInterval = 64 * 1024
 
+// runRecordsLocked runs one batch under the stats mutex, so a concurrent
+// Snapshot never observes half-updated counters. The lock is taken once
+// per batch (≤ cancelCheckInterval records), not per record, keeping the
+// hot path allocation- and contention-free; the deferred unlock also
+// releases the mutex when a generator aborts the batch by panicking
+// (the server's session-teardown path).
+func (s *System) runRecordsLocked(sched *scheduler, n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runRecords(sched, n)
+}
+
 // runRecords consumes exactly n records through the scheduler — the
 // allocation-free inner loop shared by Run and Advance. Boundary events
 // (context polls, the warmup reset, self-check sweeps) are the callers'
 // business: they size n so the loop body carries no per-record checks.
+// Callers synchronize via runRecordsLocked.
 func (s *System) runRecords(sched *scheduler, n int) error {
 	for i := 0; i < n; i++ {
 		c := s.minClockCore()
@@ -252,7 +265,7 @@ func nextBoundary(i, warmup int, selfCheck bool) int {
 // campaign is cancelled mid-run. Records are consumed in batches between
 // event boundaries, so the per-record path carries no bookkeeping.
 func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (Result, error) {
-	s.res.Workload = workload
+	s.SetWorkload(workload)
 	total := s.cfg.WarmupRefs + s.cfg.MaxRefs
 	sched := newScheduler(g, len(s.cores))
 	for i := 0; i < total; {
@@ -264,7 +277,7 @@ func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (R
 		default:
 		}
 		if i == s.cfg.WarmupRefs {
-			s.resetStats()
+			s.ResetStats()
 		}
 		if s.selfCheck != nil && i%selfCheckInterval == selfCheckInterval-1 {
 			s.selfCheck.sweep()
@@ -273,7 +286,7 @@ func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (R
 		if next := nextBoundary(i, s.cfg.WarmupRefs, s.selfCheck != nil); next-i < n {
 			n = next - i
 		}
-		if err := s.runRecords(sched, n); err != nil {
+		if err := s.runRecordsLocked(sched, n); err != nil {
 			return s.res, err
 		}
 		i += n
@@ -299,7 +312,7 @@ func (s *System) Advance(ctx context.Context, g trace.Generator, n int) error {
 		default:
 		}
 		chunk := min(cancelCheckInterval, n-done)
-		if err := s.runRecords(s.sched, chunk); err != nil {
+		if err := s.runRecordsLocked(s.sched, chunk); err != nil {
 			return err
 		}
 		done += chunk
@@ -307,8 +320,17 @@ func (s *System) Advance(ctx context.Context, g trace.Generator, n int) error {
 	return nil
 }
 
-// resetStats discards warmup counters while keeping all warmed state
-// (cache/TLB/POM contents, predictor training, DRAM bank state).
+// ResetStats discards accumulated counters while keeping all warmed state
+// (cache/TLB/POM contents, predictor training, DRAM bank state) — the
+// warmup boundary of Run, exported so incremental drivers (the pomsimd
+// session worker) can replicate Run's warmup semantics around Advance.
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetStats()
+}
+
+// resetStats is ResetStats without the lock.
 func (s *System) resetStats() {
 	workload := s.res.Workload
 	mode := s.res.Mode
@@ -355,48 +377,85 @@ func addCacheStats(dst *cache.Stats, src cache.Stats) {
 	dst.Writebacks += src.Writebacks
 }
 
-// finalize aggregates component counters into the Result.
+// finalize aggregates component counters into the Result (Run's
+// end-of-run step; must be called at most once per measured window).
 func (s *System) finalize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res = s.aggregate()
+}
+
+// Snapshot returns a point-in-time copy of the Result as it stands now,
+// computed without disturbing the accumulating counters — unlike Run's
+// finalize, it is idempotent and safe to call repeatedly mid-run. It
+// synchronizes with the record loop (and every other counter-mutating
+// path) on the stats mutex, so polling it from another goroutine while
+// Advance runs is race-free; the poll blocks for at most one record
+// batch — provided the generator keeps producing. A generator that blocks
+// mid-batch (a starved streaming session) holds the batch, and with it
+// this mutex, until input arrives; concurrent pollers of such systems
+// should cache snapshots between batches instead (as the pomsimd session
+// worker does). All Result fields are value types, so the returned copy
+// shares no state with the live system.
+func (s *System) Snapshot() Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aggregate()
+}
+
+// SetWorkload labels subsequent Snapshot/finalize results, mirroring the
+// workload argument of Run for Advance-driven sessions.
+func (s *System) SetWorkload(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.res.Workload = name
+}
+
+// aggregate merges the component counters into a copy of the running
+// Result without mutating it. Caller holds s.mu.
+func (s *System) aggregate() Result {
+	res := s.res
 	for _, c := range s.cores {
 		l1 := c.l1tlb.Small.Stats()
 		l1.Add(c.l1tlb.Large.Stats())
 		l1.Add(c.l1tlb.Huge.Stats())
-		s.res.L1TLB.Add(l1)
-		s.res.L2TLB.Add(c.l2tlb.Stats())
-		s.res.SizePred.Add(c.pred.SizeStats())
-		s.res.BypassPred.Add(c.pred.BypassStats())
+		res.L1TLB.Add(l1)
+		res.L2TLB.Add(c.l2tlb.Stats())
+		res.SizePred.Add(c.pred.SizeStats())
+		res.BypassPred.Add(c.pred.BypassStats())
 		ws := c.walker.Stats()
-		s.res.Walk.Add(ws)
-		addCacheStats(&s.res.L2Cache, c.l2.Stats())
-		s.res.Insts += c.insts - c.instsAtReset
-		if cyc := c.clock - c.clockAtReset; cyc > s.res.Cycles {
-			s.res.Cycles = cyc
+		res.Walk.Add(ws)
+		addCacheStats(&res.L2Cache, c.l2.Stats())
+		res.Insts += c.insts - c.instsAtReset
+		if cyc := c.clock - c.clockAtReset; cyc > res.Cycles {
+			res.Cycles = cyc
 		}
 	}
-	s.res.L3Cache = s.l3.Stats()
+	res.L3Cache = s.l3.Stats()
 	for _, ch := range s.ddr {
 		st := ch.Stats()
-		s.res.DDRStats.Accesses += st.Accesses
-		s.res.DDRStats.RowHits += st.RowHits
-		s.res.DDRStats.RowMisses += st.RowMisses
-		s.res.DDRStats.RowConfl += st.RowConfl
-		s.res.DDRStats.Reads += st.Reads
-		s.res.DDRStats.Writes += st.Writes
-		s.res.DDRStats.TotalWait += st.TotalWait
-		s.res.DDRStats.TotalCycle += st.TotalCycle
+		res.DDRStats.Accesses += st.Accesses
+		res.DDRStats.RowHits += st.RowHits
+		res.DDRStats.RowMisses += st.RowMisses
+		res.DDRStats.RowConfl += st.RowConfl
+		res.DDRStats.Reads += st.Reads
+		res.DDRStats.Writes += st.Writes
+		res.DDRStats.TotalWait += st.TotalWait
+		res.DDRStats.TotalCycle += st.TotalCycle
 	}
 	if s.pom != nil {
-		s.res.POMDRAMStats = s.pom.DRAMStats()
+		res.POMDRAMStats = s.pom.DRAMStats()
 	}
 	if s.l4 != nil {
-		s.res.L4Cache = s.l4.Stats()
-		s.res.L4DRAMStats = s.l4chan.Stats()
+		res.L4Cache = s.l4.Stats()
+		res.L4DRAMStats = s.l4chan.Stats()
 	}
 	if s.shared != nil {
-		s.res.SharedTLB = s.shared.Stats()
+		res.SharedTLB = s.shared.Stats()
 	}
 	if s.tsbB != nil {
-		s.res.TSBLookups = s.tsbB.Stats()
-		s.res.TSBConflicts = s.tsbB.Conflicts
+		res.TSBLookups = s.tsbB.Stats()
+		res.TSBConflicts = s.tsbB.Conflicts
 	}
+	return res
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -73,6 +74,12 @@ type System struct {
 	// sched persists the record scheduler across Advance calls so buffered
 	// per-core records survive window boundaries.
 	sched *scheduler
+
+	// mu serializes every counter-mutating path (record batches, stat
+	// resets, shootdowns) against Snapshot, so live metrics can be polled
+	// from another goroutine mid-run. It is taken once per record batch,
+	// never per record.
+	mu sync.Mutex
 
 	res Result
 }
@@ -400,6 +407,8 @@ func walkEntry(vmid addr.VMID, pid addr.PID, va addr.VA, w pagetable.WalkResult)
 // set line are flushed from the data caches. Returns whether the page was
 // actually mapped.
 func (s *System) Shootdown(vmid addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	vpn := va.VPN(size)
 	var unmapped bool
 	if s.cfg.Virtualized {
@@ -427,6 +436,8 @@ func (s *System) Shootdown(vmid addr.VMID, pid addr.PID, va addr.VA, size addr.P
 // dropped from the data caches. Returns the number of entries removed
 // from the scheme's large structure.
 func (s *System) ProcessExit(vmid addr.VMID, pid addr.PID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range s.cores {
 		c.l1tlb.Small.InvalidateProcess(vmid, pid)
 		c.l1tlb.Large.InvalidateProcess(vmid, pid)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzIngest throws arbitrary bytes, split at arbitrary chunk boundaries
+// (including mid-record), at the ingest endpoint. The invariants:
+//
+//   - the handler never panics, whatever the framing;
+//   - exactly the whole records of a valid prefix are accepted — a tear
+//     mid-record yields no phantom record and loses no complete one;
+//   - the HTTP status matches the codec verdict (400 bad magic, 422
+//     truncation, 202 clean);
+//   - the session survives malformed uploads and keeps serving metrics.
+func FuzzIngest(f *testing.F) {
+	valid := fuzzEncode(trace.Collect(parityGen(), 3))
+	f.Add([]byte{}, uint8(1))
+	f.Add(valid, uint8(5))
+	f.Add(valid[:len(valid)-7], uint8(3))   // torn mid-record
+	f.Add(valid[:4], uint8(1))              // torn mid-header
+	f.Add([]byte("NOTATRACE-------"), uint8(16)) // full-length bad magic
+	f.Add(append(append([]byte{}, valid...), 0xFF), uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		srv := New(Config{MaxIngestRecords: -1})
+		defer srv.Close()
+		mux := srv.Handler()
+
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/sessions", strings.NewReader(`{"cores":1}`)))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create session: status %d", rec.Code)
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+			t.Fatal(err)
+		}
+
+		wantAccepted, wantStatus := expectIngest(data)
+		body := &dribbleReader{data: data, n: int(chunk%16) + 1}
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/sessions/"+created.ID+"/records", body))
+		if rec.Code != wantStatus {
+			t.Fatalf("ingest of %d bytes: status %d, want %d (body %s)",
+				len(data), rec.Code, wantStatus, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusBadRequest {
+			var out struct {
+				Accepted int `json:"accepted"`
+				Ingested int `json:"ingested"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("ingest reply %q: %v", rec.Body.Bytes(), err)
+			}
+			if out.Accepted != wantAccepted || out.Ingested != wantAccepted {
+				t.Fatalf("ingest of %d bytes: accepted %d / ingested %d, want %d whole records",
+					len(data), out.Accepted, out.Ingested, wantAccepted)
+			}
+		}
+
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/sessions/"+created.ID+"/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics after fuzzed ingest: status %d", rec.Code)
+		}
+		var m SessionMetrics
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Ingested != wantAccepted {
+			t.Fatalf("session ingested %d records, want %d", m.Ingested, wantAccepted)
+		}
+	})
+}
+
+// expectIngest is the reference model of the framing: which status and
+// how many whole records an arbitrary body must produce.
+func expectIngest(data []byte) (accepted, status int) {
+	magic := []byte("POMTRC01")
+	if len(data) < len(magic) {
+		return 0, http.StatusUnprocessableEntity // short header is a truncation
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return 0, http.StatusBadRequest
+	}
+	payload := len(data) - len(magic)
+	accepted = payload / 16
+	if payload%16 != 0 {
+		return accepted, http.StatusUnprocessableEntity
+	}
+	return accepted, http.StatusAccepted
+}
+
+func fuzzEncode(recs []trace.Record) []byte {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

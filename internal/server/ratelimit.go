@@ -1,0 +1,64 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token-bucket rate limiter over records/sec with a burst
+// allowance, in the style of the byte-rate limiters load-generation tools
+// use, adapted for a server: instead of pacing a sender it answers "how
+// long would this batch have to wait", so the ingest handler can choose
+// between absorbing a short wait (smoothing) and rejecting with a 429 +
+// Retry-After (shedding).
+//
+// The clock is passed in by the caller, which keeps the arithmetic
+// deterministic under test and means a bucket shared by many sessions of
+// one tenant needs no background goroutine.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (records) per second; <= 0 means unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a full bucket. A rate <= 0 disables limiting; a burst
+// below 1 is raised to 1 so a single record can always eventually pass.
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take asks for n tokens at time now. It returns (0, true) when the batch
+// may proceed immediately, (d, true) when the caller should wait d first
+// (the tokens are reserved, going negative, so concurrent takers queue up
+// behind the reservation), and (d, false) when the wait would exceed
+// maxWait — nothing is consumed and d is the Retry-After hint.
+func (b *bucket) take(now time.Time, n float64, maxWait time.Duration) (time.Duration, bool) {
+	if b == nil || b.rate <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return 0, true
+	}
+	deficit := n - b.tokens
+	d := time.Duration(deficit / b.rate * float64(time.Second))
+	if d > maxWait {
+		return d, false
+	}
+	b.tokens -= n
+	return d, true
+}

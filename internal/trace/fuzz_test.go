@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -50,9 +51,11 @@ func FuzzRecordCodec(f *testing.F) {
 }
 
 // FuzzReader fuzzes the binary trace reader against arbitrary byte
-// streams: it must never panic, must reject non-magic headers, and on a
-// valid header must hand back only whole records and then a clean EOF —
-// truncated trailing bytes must not surface as a phantom record.
+// streams: it must never panic, must reject non-magic headers with
+// ErrBadMagic and short headers with ErrTruncated, and on a valid header
+// must hand back only whole records followed by io.EOF (clean end) or
+// ErrTruncated (torn tail) — truncated trailing bytes must never surface
+// as a phantom record.
 func FuzzReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("POMTRC01"))
@@ -63,8 +66,17 @@ func FuzzReader(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
-			if len(data) >= 8 && bytes.Equal(data[:8], magic[:]) {
+			switch {
+			case len(data) < 8:
+				if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("short header: error %v, want ErrTruncated", err)
+				}
+			case bytes.Equal(data[:8], magic[:]):
 				t.Fatalf("valid header rejected: %v", err)
+			default:
+				if !errors.Is(err, ErrBadMagic) {
+					t.Fatalf("bad header: error %v, want ErrBadMagic", err)
+				}
 			}
 			return
 		}
@@ -73,16 +85,22 @@ func FuzzReader(f *testing.F) {
 		}
 		n := 0
 		for {
-			if _, err := r.Read(); err != nil {
-				if err != io.EOF {
-					t.Fatalf("read error beyond EOF: %v", err)
+			_, err := r.Read()
+			if err == nil {
+				n++
+				if n > len(data) { // cannot yield more records than bytes
+					t.Fatal("reader yields records forever")
 				}
-				break
+				continue
 			}
-			n++
-			if n > len(data) { // cannot yield more records than bytes
-				t.Fatal("reader yields records forever")
+			torn := (len(data)-8)%recordBytes != 0
+			if torn && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("torn tail: error %v, want ErrTruncated", err)
 			}
+			if !torn && err != io.EOF {
+				t.Fatalf("clean end: error %v, want io.EOF", err)
+			}
+			break
 		}
 		if want := (len(data) - 8) / recordBytes; n != want {
 			t.Fatalf("decoded %d records from %d payload bytes, want %d", n, len(data)-8, want)

@@ -14,10 +14,24 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/addr"
+)
+
+// Sentinel errors let callers distinguish a stream that was never a trace
+// from one that was cut off mid-record — the server maps the former to a
+// client error (400) and the latter to a torn upload (422), and the CLIs
+// print matching hints.
+var (
+	// ErrBadMagic marks a stream whose first 8 bytes are not the trace
+	// magic: the payload is not a POMTRC01 trace at all.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrTruncated marks a stream that ends mid-header or mid-record: the
+	// trace was valid up to the tear, but bytes are missing.
+	ErrTruncated = errors.New("trace: truncated stream")
 )
 
 // Record is one memory reference.
@@ -92,24 +106,30 @@ type Reader struct {
 	buf [recordBytes]byte
 }
 
-// NewReader validates the header and returns a Reader.
+// NewReader validates the header and returns a Reader. A stream shorter
+// than the header wraps ErrTruncated; a full-length header that is not the
+// trace magic wraps ErrBadMagic.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: %d-byte header, want %d", ErrTruncated, n, len(hdr))
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if hdr != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+		return nil, fmt.Errorf("%w: %q, want %q", ErrBadMagic, hdr, magic)
 	}
 	return &Reader{r: br}, nil
 }
 
-// Read returns the next record, or io.EOF at end of stream.
+// Read returns the next record, io.EOF at a clean end of stream, or an
+// error wrapping ErrTruncated when the stream tears mid-record.
 func (r *Reader) Read() (Record, error) {
 	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			err = io.EOF
+			err = fmt.Errorf("%w: stream ends mid-record", ErrTruncated)
 		}
 		return Record{}, err
 	}

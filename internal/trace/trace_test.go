@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -61,11 +62,61 @@ func TestWriteReadRoundtrip(t *testing.T) {
 }
 
 func TestReaderRejectsBadMagic(t *testing.T) {
-	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE_______"))); err == nil {
+	_, err := NewReader(bytes.NewReader([]byte("NOTATRACE_______")))
+	if err == nil {
 		t.Error("bad magic accepted")
 	}
-	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic error = %v, want ErrBadMagic", err)
+	}
+	_, err = NewReader(bytes.NewReader(nil))
+	if err == nil {
 		t.Error("empty stream accepted")
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty stream error = %v, want ErrTruncated", err)
+	}
+}
+
+// TestReaderSentinelErrors pins the typed-error contract the server's
+// status mapping depends on: short header → ErrTruncated, wrong magic →
+// ErrBadMagic, torn record → ErrTruncated, clean end → io.EOF.
+func TestReaderSentinelErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("POM"))); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v, want ErrTruncated", err)
+	}
+
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{VA: 0x1000, Gap: 3})
+	w.Write(Record{VA: 0x2000, Gap: 4})
+	w.Flush()
+
+	// Clean stream: both records, then io.EOF.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("clean end: %v, want io.EOF", err)
+	}
+
+	// Torn stream: first record whole, second cut mid-struct.
+	torn := buf.Bytes()[:buf.Len()-5]
+	r, err = NewReader(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("whole record before tear: %v", err)
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("torn record: %v, want ErrTruncated", err)
 	}
 }
 
