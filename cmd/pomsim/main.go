@@ -21,8 +21,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -46,7 +48,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pomsim", flag.ContinueOnError)
 	var (
 		workload = fs.String("workload", "mcf", "Table 2 benchmark name")
-		mode     = fs.String("mode", "pom-tlb", "translation scheme: baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb")
+		mode     = fs.String("mode", "pom-tlb", "translation scheme: "+strings.Join(core.ModeNames(), ", "))
 		cores    = fs.Int("cores", 8, "simulated cores")
 		vms      = fs.Int("vms", 1, "virtual machines")
 		refs     = fs.Int("refs", 500_000, "measured memory references")
@@ -205,10 +207,17 @@ func printResult(out io.Writer, p workloads.Profile, res core.Result) {
 	if res.TSBLookups.Total() > 0 {
 		t.AddRow("TSB hit", stats.Pct(res.TSBLookups.Ratio()))
 	}
+	if res.Victima.Total() > 0 {
+		t.AddRow("Victima store hit", stats.Pct(res.Victima.Ratio()))
+	}
+	if res.DCache.Access[cache.Data].Total() > 0 {
+		t.AddRow("walk DRAM-cache hit", stats.Pct(res.DCache.Access[cache.Data].Ratio()))
+		t.AddRow("walk DRAM-cache row-buffer hit", stats.Pct(res.DCacheDRAM.RowBufferHitRate()))
+	}
 	t.AddRow("mean data-access latency", fmt.Sprintf("%.1f cycles", res.DataLat.Value()))
 	fmt.Fprint(out, t.String())
 
-	if res.Mode != core.Baseline {
+	if res.Mode != core.Baseline && core.CalibratedWalks(res.Mode) {
 		if imp, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p, capPen(res.AvgPenalty(), p.CyclesPerMissVirt))); err == nil {
 			fmt.Fprintf(out, "\nmodelled improvement over measured baseline: %.2f%%\n", imp)
 		}
@@ -275,12 +284,14 @@ func runGeometrySweep(ctx context.Context, out io.Writer, p workloads.Profile, c
 	return nil
 }
 
-// runComparison runs every translation scheme on one workload and prints
-// the per-scheme penalties and modelled improvements side by side.
+// runComparison runs every registered translation scheme on one workload
+// and prints the per-scheme penalties and modelled improvements side by
+// side. The improvement column stays "—" for the baseline itself and for
+// schemes whose benefit lives inside the simulated walk (CalibratedWalks
+// false), where mixing in the measured baseline would misstate the gain.
 func runComparison(ctx context.Context, out io.Writer, p workloads.Profile, base core.Config) error {
 	t := stats.NewTable("scheme", "P_avg", "walk elim", "improvement %")
-	for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.POMTLBNoCache,
-		core.SharedL2, core.TSB, core.L4Cache} {
+	for _, mode := range core.Modes() {
 		cfg := base
 		cfg.Mode = mode
 		sys, err := core.NewSystem(cfg)
@@ -292,7 +303,7 @@ func runComparison(ctx context.Context, out io.Writer, p workloads.Profile, base
 			return err
 		}
 		imp := "—"
-		if mode != core.Baseline && mode != core.L4Cache {
+		if mode != core.Baseline && core.CalibratedWalks(mode) {
 			if v, err := perfmodel.ImprovementPct(perfmodel.FromProfile(p,
 				capPen(res.AvgPenalty(), p.CyclesPerMissVirt))); err == nil {
 				imp = fmt.Sprintf("%.2f", v)
@@ -324,7 +335,7 @@ func runSelfCheck(ctx context.Context, out io.Writer, base core.Config) error {
 		if !ok {
 			return fmt.Errorf("selfcheck workload %q missing", name)
 		}
-		for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.TSB} {
+		for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.TSB, core.Victima, core.DRAMCache} {
 			cfg := base
 			cfg.Mode = mode
 			sys, err := core.NewSystem(cfg)

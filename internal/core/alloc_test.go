@@ -26,8 +26,7 @@ func allocGen(cores int) trace.Generator {
 // here is exactly what the perf-trajectory gate exists to catch, but this
 // test catches it in 'go test' without timing noise.
 func TestSteadyStateZeroAllocs(t *testing.T) {
-	modes := []Mode{Baseline, SharedL2, TSB, POMTLB, POMTLBNoCache, L4Cache}
-	for _, mode := range modes {
+	for _, mode := range Modes() {
 		t.Run(mode.String(), func(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Mode = mode
@@ -92,7 +91,7 @@ func TestSteadyStateZeroAllocsNeighborPrefetch(t *testing.T) {
 // simulated record (each record touches the L1 TLB shadow at minimum),
 // and the run must verify clean.
 func TestShadowObservesAfterDevirtualization(t *testing.T) {
-	for _, mode := range []Mode{Baseline, SharedL2, TSB, POMTLB} {
+	for _, mode := range []Mode{Baseline, SharedL2, TSB, POMTLB, Victima, DRAMCache} {
 		t.Run(mode.String(), func(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Mode = mode

@@ -2,82 +2,95 @@
 // simulator of Section 3.2: per-core two-level TLBs, two levels of private
 // data caches, a shared L3, the off-chip DRAM, and — depending on the
 // simulated scheme — the DRAM-based POM-TLB with its predictors, a shared
-// SRAM L2 TLB, or a SPARC-style TSB. It consumes trace records (scheduled
-// by instruction cadence) and reports the per-scheme translation penalty
-// and all the hit-ratio/predictor/row-buffer statistics behind Figures
-// 8–12.
+// SRAM L2 TLB, a SPARC-style TSB, or one of the registered competitor
+// schemes. It consumes trace records (scheduled by instruction cadence)
+// and reports the per-scheme translation penalty and all the
+// hit-ratio/predictor/row-buffer statistics behind Figures 8–12.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/dramcache"
 	"repro/internal/pagetable"
 	"repro/internal/pomtlb"
 	"repro/internal/tlb"
 	"repro/internal/tsb"
+	"repro/internal/victima"
 )
 
-// Mode selects the translation scheme simulated after an L2 TLB miss. All
-// modes share identical L1/L2 TLBs and data caches so their per-miss
-// penalties are directly comparable (the paper's Figure 8 framing).
-type Mode uint8
+// Mode names the translation scheme simulated after an L2 TLB miss. It
+// is an open string type resolved through the scheme registry
+// (RegisterScheme / SchemeFor), so new schemes plug in without touching
+// an enum. All modes share identical L1/L2 TLBs and data caches so their
+// per-miss penalties are directly comparable (the paper's Figure 8
+// framing). The empty string normalizes to Baseline, keeping zero-value
+// Configs safe.
+type Mode string
 
 const (
 	// Baseline resolves L2 TLB misses with the 2D nested page walk,
 	// accelerated by page-structure caches and a nested TLB — the
 	// Skylake-like baseline.
-	Baseline Mode = iota
+	Baseline Mode = "baseline"
 	// POMTLB adds the paper's DRAM L3 TLB: predictors, data-cache probes
 	// of the addressable TLB sets, then the die-stacked DRAM, and only
 	// then a page walk.
-	POMTLB
+	POMTLB Mode = "pom-tlb"
 	// POMTLBNoCache is POMTLB with data-cache probing disabled — every
 	// POM-TLB access goes to the die-stacked DRAM (Figure 12's ablation).
-	POMTLBNoCache
+	POMTLBNoCache Mode = "pom-tlb-nocache"
 	// SharedL2 probes a shared SRAM TLB with the combined capacity of all
 	// cores' L2 TLBs before walking (the Shared_L2 comparison scheme).
-	SharedL2
+	SharedL2 Mode = "shared-l2"
 	// TSB traps to software and probes a 16 MB direct-mapped translation
 	// storage buffer before a software page walk (the SPARC comparison).
-	TSB
+	TSB Mode = "tsb"
 	// L4Cache spends the same die-stacked capacity as an L4 *data* cache
 	// instead of a TLB — the Section 2.2 trade-off. Translations use the
 	// baseline walk (whose PTE reads also benefit from the L4).
-	L4Cache
-
-	numModes
+	L4Cache Mode = "l4-cache"
+	// Victima stores TLB entries in the L2 data cache's ways with a
+	// PTE-aware replacement policy and a dual-lookup cost model (after
+	// Kanellopoulos et al., arXiv 2310.04158).
+	Victima Mode = "victima"
+	// DRAMCache services page-walk memory references from a die-stacked
+	// DRAM cache ahead of off-chip memory (after Patil et al., arXiv
+	// 2002.01073) — walks get shorter instead of being eliminated.
+	DRAMCache Mode = "dram-cache"
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer; the zero Mode reads as the baseline it
+// resolves to.
 func (m Mode) String() string {
-	switch m {
-	case Baseline:
-		return "baseline"
-	case POMTLB:
-		return "pom-tlb"
-	case POMTLBNoCache:
-		return "pom-tlb-nocache"
-	case SharedL2:
-		return "shared-l2"
-	case TSB:
-		return "tsb"
-	case L4Cache:
-		return "l4-cache"
+	if m == "" {
+		return string(Baseline)
 	}
-	return fmt.Sprintf("Mode(%d)", uint8(m))
+	return string(m)
 }
 
-// ParseMode inverts String: it resolves a scheme name from a CLI flag or
-// an API request into its Mode.
-func ParseMode(s string) (Mode, error) {
-	for m := Baseline; m < numModes; m++ {
-		if m.String() == s {
-			return m, nil
-		}
+// normalize maps the zero value to Baseline.
+func (m Mode) normalize() Mode {
+	if m == "" {
+		return Baseline
 	}
-	return 0, fmt.Errorf("core: unknown mode %q (baseline, pom-tlb, pom-tlb-nocache, shared-l2, tsb, l4-cache)", s)
+	return m
+}
+
+// ParseMode resolves a scheme name from a CLI flag or an API request
+// against the registry.
+func ParseMode(s string) (Mode, error) {
+	m := Mode(s)
+	if s == "" {
+		return "", fmt.Errorf("core: empty mode (%s)", strings.Join(ModeNames(), ", "))
+	}
+	if _, ok := SchemeFor(m); !ok {
+		return "", fmt.Errorf("core: unknown mode %q (%s)", s, strings.Join(ModeNames(), ", "))
+	}
+	return m, nil
 }
 
 // Config describes one simulation.
@@ -111,6 +124,10 @@ type Config struct {
 	POM pomtlb.Config
 	// TSBCfg configures the translation storage buffer (TSB mode).
 	TSBCfg tsb.Config
+	// VictimaCfg configures the cache-resident TLB store (Victima mode).
+	VictimaCfg victima.Config
+	// DCache configures the die-stacked page-walk cache (DRAMCache mode).
+	DCache dramcache.Config
 	// Walker configures the page-structure caches and nested TLB.
 	Walker pagetable.WalkerConfig
 	// DDR is the off-chip channel backing ordinary data.
@@ -144,7 +161,9 @@ type Config struct {
 	// baseline penalty (Table 2) for the scheme runs: the walk path of
 	// every scheme is the baseline path, whose cost the paper takes from
 	// hardware measurement rather than simulation (Section 3.3). Leave 0
-	// to simulate walks (the Baseline mode always should).
+	// to simulate walks (the Baseline mode always should, as must any
+	// scheme whose benefit lives inside the walk — see
+	// Scheme.CalibratedWalks).
 	WalkPenaltyOverride uint64
 
 	// SteadyState seeds the scheme's large translation structure
@@ -180,6 +199,8 @@ func DefaultConfig() Config {
 		L2MissPenalty: 17,
 		POM:           pomtlb.DefaultConfig(),
 		TSBCfg:        tsb.DefaultConfig(),
+		VictimaCfg:    victima.DefaultConfig(),
+		DCache:        dramcache.DefaultConfig(),
 		Walker:        pagetable.DefaultWalkerConfig(),
 		DDR:           dram.DDR4_2133(),
 		DDRChannels:   2,
@@ -190,7 +211,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors: the scheme-independent limits
+// here, then the registered scheme's own Validate hook.
 func (c Config) Validate() error {
 	switch {
 	case c.Cores <= 0 || c.Cores > 256:
@@ -217,15 +239,9 @@ func (c Config) Validate() error {
 	if err := c.DDR.Validate(); err != nil {
 		return err
 	}
-	switch c.Mode {
-	case POMTLB, POMTLBNoCache:
-		if err := c.POM.Validate(); err != nil {
-			return err
-		}
-	case TSB:
-		if err := c.TSBCfg.Validate(); err != nil {
-			return err
-		}
+	sch, ok := SchemeFor(c.Mode)
+	if !ok {
+		return fmt.Errorf("core: unknown mode %q (%s)", string(c.Mode), strings.Join(ModeNames(), ", "))
 	}
-	return nil
+	return sch.Validate(&c)
 }

@@ -82,15 +82,55 @@ func TestNewSystemRejectsInvalid(t *testing.T) {
 func TestModeString(t *testing.T) {
 	want := map[Mode]string{
 		Baseline: "baseline", POMTLB: "pom-tlb", POMTLBNoCache: "pom-tlb-nocache",
-		SharedL2: "shared-l2", TSB: "tsb",
+		SharedL2: "shared-l2", TSB: "tsb", Victima: "victima", DRAMCache: "dram-cache",
 	}
 	for m, s := range want {
 		if m.String() != s {
-			t.Errorf("%d.String() = %q", m, m.String())
+			t.Errorf("%s.String() = %q", string(m), m.String())
 		}
 	}
-	if !strings.HasPrefix(Mode(99).String(), "Mode(") {
-		t.Error("unknown mode string")
+	if Mode("").String() != "baseline" {
+		t.Error("zero mode should read as the baseline it resolves to")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range Modes() {
+		got, err := ParseMode(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", string(m), got, err)
+		}
+	}
+	for _, bad := range []string{"", "bogus", "POM-TLB"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegistryCoversConstants(t *testing.T) {
+	want := []Mode{Baseline, POMTLB, POMTLBNoCache, SharedL2, TSB, L4Cache, Victima, DRAMCache}
+	reg := Modes()
+	for _, m := range want {
+		sch, ok := SchemeFor(m)
+		if !ok {
+			t.Fatalf("mode %s not registered", m)
+		}
+		if sch.Name() != m {
+			t.Errorf("scheme registered under %s names itself %s", m, sch.Name())
+		}
+		if sch.Describe() == "" {
+			t.Errorf("scheme %s has no description", m)
+		}
+		found := false
+		for _, r := range reg {
+			if r == m {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Modes() omits %s", m)
+		}
 	}
 }
 

@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// FuzzParseMode throws arbitrary strings at the registry's name parser.
+// The invariants: every registered name parses to itself, everything the
+// parser accepts resolves to a registered scheme whose Name round-trips,
+// and nothing — not the empty string, not case variants, not garbage —
+// panics or sneaks an unregistered mode through.
+func FuzzParseMode(f *testing.F) {
+	for _, n := range ModeNames() {
+		f.Add(n)
+	}
+	f.Add("")
+	f.Add("POM-TLB")
+	f.Add("victima ")
+	f.Add("bogus")
+	f.Add("pom-tlb\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMode(s)
+		if err != nil {
+			if _, registered := schemeRegistry[Mode(s)]; registered && s != "" {
+				t.Errorf("ParseMode rejected registered name %q: %v", s, err)
+			}
+			return
+		}
+		sch, ok := SchemeFor(m)
+		if !ok {
+			t.Fatalf("ParseMode(%q) accepted an unregistered mode %q", s, m)
+		}
+		if sch.Name() != m {
+			t.Errorf("ParseMode(%q) = %q but the scheme's Name is %q", s, m, sch.Name())
+		}
+		if m.String() != s {
+			t.Errorf("accepted mode %q does not round-trip through String: %q", s, m.String())
+		}
+	})
+}

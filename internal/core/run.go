@@ -52,6 +52,10 @@ type Result struct {
 	TSBLookups   stats.HitMiss
 	TSBConflicts uint64
 
+	// Victima aggregates the cache-resident TLB stores' probe counters
+	// (Victima mode).
+	Victima stats.HitMiss
+
 	// POMDRAMStats carries the die-stacked channel counters (Figure 11's
 	// row-buffer hit rate); DDRStats the off-chip channel's.
 	POMDRAMStats dram.Stats
@@ -69,6 +73,11 @@ type Result struct {
 	// trade-off study).
 	L4Cache     cache.Stats
 	L4DRAMStats dram.Stats
+
+	// DCache and DCacheDRAM are populated in DRAMCache mode: the stacked
+	// page-walk cache's tag directory and its die-stacked channel.
+	DCache     cache.Stats
+	DCacheDRAM dram.Stats
 
 	// CoherenceInvalidations and SnoopTransfers are populated when
 	// Config.Coherence is enabled.
@@ -351,19 +360,7 @@ func (s *System) resetStats() {
 	for _, ch := range s.ddr {
 		ch.ResetStats()
 	}
-	if s.pom != nil {
-		s.pom.ResetStats()
-	}
-	if s.tsbB != nil {
-		s.tsbB.ResetStats()
-	}
-	if s.l4 != nil {
-		s.l4.ResetStats()
-		s.l4chan.ResetStats()
-	}
-	if s.shared != nil {
-		s.shared.ResetStats()
-	}
+	s.scheme.ResetStats(s)
 }
 
 // addCacheStats merges per-core cache counters.
@@ -443,19 +440,6 @@ func (s *System) aggregate() Result {
 		res.DDRStats.TotalWait += st.TotalWait
 		res.DDRStats.TotalCycle += st.TotalCycle
 	}
-	if s.pom != nil {
-		res.POMDRAMStats = s.pom.DRAMStats()
-	}
-	if s.l4 != nil {
-		res.L4Cache = s.l4.Stats()
-		res.L4DRAMStats = s.l4chan.Stats()
-	}
-	if s.shared != nil {
-		res.SharedTLB = s.shared.Stats()
-	}
-	if s.tsbB != nil {
-		res.TSBLookups = s.tsbB.Stats()
-		res.TSBConflicts = s.tsbB.Conflicts
-	}
+	s.scheme.Aggregate(s, &res)
 	return res
 }

@@ -1,140 +1,156 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/addr"
-	"repro/internal/cache"
-	"repro/internal/dram"
-	"repro/internal/pomtlb"
 	"repro/internal/tlb"
-	"repro/internal/tsb"
 )
 
-// schemeOps is the per-mode dispatch table: everything that varies by
-// translation scheme lives here, resolved once at System construction
-// instead of switching on cfg.Mode at every event. A nil hook means the
-// scheme has nothing to do for that event (e.g. Baseline owns no large
-// translation structure).
-type schemeOps struct {
-	// build constructs the scheme's large structure(s) during NewSystem.
-	build func(*System)
-	// path resolves an L2 TLB miss — the Figure 8 per-scheme penalty path.
-	path func(*System, *coreState, addr.VA) tlb.Entry
-	// seed installs a freshly-mapped page's translation into the scheme's
-	// large structure under SteadyState.
-	seed func(*System, *coreState, addr.VA, addr.PageSize, uint64)
-	// shootdown drops one page's translation from the scheme's structure.
-	shootdown func(*System, addr.VMID, addr.PID, addr.VA, uint64, addr.PageSize)
-	// processExit flushes every translation of (vm, pid) from the scheme's
-	// structure, returning the number of entries removed.
-	processExit func(*System, addr.VMID, addr.PID) int
+// Scheme is the contract a translation scheme implements to plug into
+// the System: everything that varies by scheme lives behind this
+// interface, registered by name (RegisterScheme) instead of indexed by a
+// closed enum. NewSystem resolves the mode's Scheme exactly once and
+// stores it on the System, so no event path performs a registry lookup —
+// the hot path stays a single indirect call and allocation-free.
+//
+// Hooks with nothing to do for a scheme are satisfied by embedding
+// baseScheme. DESIGN.md §13 documents the full contract and how to add a
+// scheme.
+type Scheme interface {
+	// Name is the registry key ("pom-tlb", "victima", ...).
+	Name() Mode
+	// Describe is a one-line summary for CLI help and docs.
+	Describe() string
+	// Validate checks the scheme-specific part of the configuration
+	// (Config.Validate runs the scheme-independent checks first).
+	Validate(cfg *Config) error
+	// CalibratedWalks reports whether experiment harnesses may charge
+	// this scheme's page walks at the measured baseline cost (§3.3).
+	// Schemes whose benefit lives inside the walk itself (L4Cache,
+	// DRAMCache) must return false so their walks are always simulated.
+	CalibratedWalks() bool
+	// Build constructs the scheme's large structure(s) during NewSystem
+	// (cores do not exist yet; size them from s.cfg).
+	Build(s *System)
+	// Path resolves an L2 TLB miss — the Figure 8 per-scheme penalty
+	// path. It must advance c.now by every serial step, install the
+	// translation into the core's TLBs, and count exactly one Resolved
+	// level.
+	Path(s *System, c *coreState, va addr.VA) tlb.Entry
+	// Seed installs a freshly-mapped page's translation into the
+	// scheme's large structure under SteadyState; Seeds reports whether
+	// the hook does anything (so the conformance suite knows what to
+	// expect from Holds after a seed).
+	Seed(s *System, c *coreState, va addr.VA, size addr.PageSize, pfn uint64)
+	Seeds() bool
+	// Shootdown drops one page's translation from the scheme's
+	// structure, including any stale cached copies.
+	Shootdown(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize)
+	// ProcessExit flushes every translation of (vm, pid) from the
+	// scheme's structure, returning the number of entries removed.
+	ProcessExit(s *System, vmid addr.VMID, pid addr.PID) int
+	// Holds reports whether the scheme's large structure currently holds
+	// a translation for the page — a logical probe that must not perturb
+	// recency or statistics (the conformance suite's residual check).
+	Holds(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize) bool
+	// AttachSelfCheck attaches the scheme's structures to the
+	// differential oracle harness.
+	AttachSelfCheck(s *System, sc *SelfCheck)
+	// CheckInvariants validates the scheme's structures (the
+	// scheme-independent hierarchy is checked by System.CheckInvariants).
+	CheckInvariants(s *System) error
+	// ResetStats clears the scheme's counters at the warmup boundary
+	// (contents stay warm).
+	ResetStats(s *System)
+	// Aggregate folds the scheme's counters into a Result snapshot.
+	Aggregate(s *System, res *Result)
 }
 
-// modeOps maps each Mode to its dispatch table. The SharedL2 seed hook is
-// deliberately nil: its capacity (12 K entries at 8 cores) is far below
-// the big footprints, so in steady state a streamed page would long since
-// have been evicted — seeding immediately before the probe would fake a
-// hit the real structure could not deliver. The POM-TLB and TSB hold
-// ≥ 0.5 M entries and do retain every page at these footprints.
-var modeOps = [numModes]schemeOps{
-	Baseline: {
-		path: (*System).baselinePath,
-	},
-	POMTLB: {
-		build:       buildPOM,
-		path:        (*System).pomPath,
-		seed:        seedPOM,
-		shootdown:   shootdownPOM,
-		processExit: processExitPOM,
-	},
-	POMTLBNoCache: {
-		build:       buildPOM,
-		path:        (*System).pomPath,
-		seed:        seedPOM,
-		shootdown:   shootdownPOM,
-		processExit: processExitPOM,
-	},
-	SharedL2: {
-		build:       buildShared,
-		path:        (*System).sharedPath,
-		shootdown:   shootdownShared,
-		processExit: processExitShared,
-	},
-	TSB: {
-		build:       buildTSB,
-		path:        (*System).tsbPath,
-		seed:        seedTSB,
-		shootdown:   shootdownTSB,
-		processExit: processExitTSB,
-	},
-	L4Cache: {
-		build: buildL4,
-		path:  (*System).baselinePath,
-	},
+// baseScheme provides the no-op defaults; concrete schemes embed it and
+// override what they own.
+type baseScheme struct{}
+
+func (baseScheme) Validate(*Config) error { return nil }
+func (baseScheme) CalibratedWalks() bool  { return true }
+func (baseScheme) Build(*System)          {}
+func (baseScheme) Seed(*System, *coreState, addr.VA, addr.PageSize, uint64) {
 }
-
-func buildPOM(s *System) { s.pom = pomtlb.New(s.cfg.POM) }
-
-func buildTSB(s *System) { s.tsbB = tsb.MustNew(s.cfg.TSBCfg) }
-
-func buildShared(s *System) { s.shared = tlb.MustNew(tlb.SharedL2(s.cfg.Cores)) }
-
-func buildL4(s *System) {
-	s.l4 = cache.MustNew(cache.Config{
-		Name:      "L4",
-		SizeBytes: s.cfg.POM.SizeBytes, // same capacity as the TLB it replaces
-		Ways:      16,
-		Latency:   0, // the DRAM access itself is charged per hit
-	})
-	s.l4chan = dram.MustNew(s.cfg.POM.DRAM)
+func (baseScheme) Seeds() bool { return false }
+func (baseScheme) Shootdown(*System, addr.VMID, addr.PID, addr.VA, uint64, addr.PageSize) {
 }
+func (baseScheme) ProcessExit(*System, addr.VMID, addr.PID) int { return 0 }
+func (baseScheme) Holds(*System, addr.VMID, addr.PID, addr.VA, addr.PageSize) bool {
+	return false
+}
+func (baseScheme) AttachSelfCheck(*System, *SelfCheck) {}
+func (baseScheme) CheckInvariants(*System) error       { return nil }
+func (baseScheme) ResetStats(*System)                  {}
+func (baseScheme) Aggregate(*System, *Result)          {}
 
-func seedPOM(s *System, c *coreState, va addr.VA, size addr.PageSize, pfn uint64) {
-	if size == addr.Page1G {
-		return // the POM-TLB has no 1 GB partition
+// The scheme registry. Registration happens at init time (package core's
+// own schemes below, or an importer's init); lookups after that are
+// read-only, so no locking is needed.
+var (
+	schemeRegistry = map[Mode]Scheme{}
+	schemeOrder    []Mode
+)
+
+// RegisterScheme adds a scheme to the registry under its Name. It
+// panics on an empty or duplicate name — registration is init-time
+// wiring, and a collision is a programming error.
+func RegisterScheme(sch Scheme) {
+	m := sch.Name()
+	if m == "" {
+		panic("core: scheme registered with empty name")
 	}
-	s.pom.Partition(size).Insert(pomtlb.Entry{
-		Valid: true, VM: c.vmid, PID: c.pid,
-		VPN: va.VPN(size), PFN: pfn, Size: size,
-	})
-}
-
-func seedTSB(s *System, c *coreState, va addr.VA, size addr.PageSize, pfn uint64) {
-	s.tsbB.Insert(c.vmid, c.pid, va.VPN(size), pfn, size)
-}
-
-func shootdownPOM(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
-	s.pom.InvalidatePage(vmid, pid, vpn, size)
-	// Cached copies of the set line are stale once the set changes.
-	line := s.pom.Partition(size).SetAddr(va, vmid).Line()
-	for _, c := range s.cores {
-		c.l1d.Invalidate(line)
-		c.l2.Invalidate(line)
+	if _, dup := schemeRegistry[m]; dup {
+		panic(fmt.Sprintf("core: scheme %q registered twice", m))
 	}
-	s.l3.Invalidate(line)
+	schemeRegistry[m] = sch
+	schemeOrder = append(schemeOrder, m)
 }
 
-func shootdownTSB(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
-	s.tsbB.InvalidatePage(vmid, pid, vpn, size)
+// SchemeFor resolves a mode's registered Scheme. The empty mode resolves
+// to Baseline.
+func SchemeFor(m Mode) (Scheme, bool) {
+	sch, ok := schemeRegistry[m.normalize()]
+	return sch, ok
 }
 
-func shootdownShared(s *System, vmid addr.VMID, pid addr.PID, va addr.VA, vpn uint64, size addr.PageSize) {
-	s.shared.InvalidatePage(vmid, pid, vpn, size)
+// Modes lists every registered mode in registration order — the
+// canonical scheme order for comparisons, sweeps and reports.
+func Modes() []Mode {
+	return append([]Mode(nil), schemeOrder...)
 }
 
-func processExitPOM(s *System, vmid addr.VMID, pid addr.PID) int {
-	n := s.pom.InvalidateProcess(vmid, pid)
-	for _, c := range s.cores {
-		c.l1d.InvalidateKind(cache.TLBEntry)
-		c.l2.InvalidateKind(cache.TLBEntry)
+// ModeNames lists every registered mode name in registration order.
+func ModeNames() []string {
+	names := make([]string, len(schemeOrder))
+	for i, m := range schemeOrder {
+		names[i] = string(m)
 	}
-	s.l3.InvalidateKind(cache.TLBEntry)
-	return n
+	return names
 }
 
-func processExitTSB(s *System, vmid addr.VMID, pid addr.PID) int {
-	return s.tsbB.InvalidateProcess(vmid, pid)
+// CalibratedWalks reports whether the mode's walks may be charged at the
+// measured baseline cost (false for unknown modes only defensively; the
+// Baseline itself is excluded by callers, not here).
+func CalibratedWalks(m Mode) bool {
+	sch, ok := SchemeFor(m)
+	return ok && sch.CalibratedWalks()
 }
 
-func processExitShared(s *System, vmid addr.VMID, pid addr.PID) int {
-	return s.shared.InvalidateProcess(vmid, pid)
+func init() {
+	// Registration order is the canonical presentation order: the
+	// paper's own four schemes and ablations first, then the related-work
+	// competitors.
+	RegisterScheme(baselineScheme{})
+	RegisterScheme(pomScheme{})
+	RegisterScheme(pomNoCacheScheme{})
+	RegisterScheme(sharedScheme{})
+	RegisterScheme(tsbScheme{})
+	RegisterScheme(l4Scheme{})
+	RegisterScheme(victimaScheme{})
+	RegisterScheme(dramCacheScheme{})
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/dramcache"
+	"repro/internal/oracle"
+	"repro/internal/tlb"
+)
+
+// dramCacheScheme registers the die-stacked DRAM cache competitor (after
+// Patil et al., arXiv 2002.01073): the same stacked capacity the POM-TLB
+// spends on translations instead services the page walker's PTE reads,
+// so walks get shorter rather than being eliminated. The translation
+// path is the unmodified baseline walk; the cache itself is probed
+// inside System.access for walk references only (data references bypass
+// it — the study isolates the translation benefit of the silicon).
+type dramCacheScheme struct{ baseScheme }
+
+func (dramCacheScheme) Name() Mode { return DRAMCache }
+func (dramCacheScheme) Describe() string {
+	return "die-stacked DRAM cache servicing page-walk PTE reads (arXiv 2002.01073)"
+}
+func (dramCacheScheme) Validate(cfg *Config) error { return cfg.DCache.Validate() }
+
+// CalibratedWalks is false: like the L4 study, the entire benefit lives
+// inside the walk, which a measured-baseline walk charge would erase.
+func (dramCacheScheme) CalibratedWalks() bool { return false }
+
+func (dramCacheScheme) Build(s *System) { s.dcache = dramcache.MustNew(s.cfg.DCache) }
+
+func (dramCacheScheme) Path(s *System, c *coreState, va addr.VA) tlb.Entry {
+	return s.baselinePath(c, va)
+}
+
+func (dramCacheScheme) AttachSelfCheck(s *System, sc *SelfCheck) {
+	oracle.NewRefCache(sc.h, s.dcache.Tags())
+	oracle.NewRefDRAM(sc.h, s.dcache.Channel())
+}
+
+func (dramCacheScheme) CheckInvariants(s *System) error { return s.dcache.CheckInvariants() }
+func (dramCacheScheme) ResetStats(s *System)            { s.dcache.ResetStats() }
+func (dramCacheScheme) Aggregate(s *System, res *Result) {
+	res.DCache = s.dcache.Stats()
+	res.DCacheDRAM = s.dcache.DRAMStats()
+}

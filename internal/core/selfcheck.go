@@ -47,20 +47,8 @@ func (s *System) EnableSelfCheck() *SelfCheck {
 	for _, ch := range s.ddr {
 		oracle.NewRefDRAM(h, ch)
 	}
-	var pomSmall, pomLarge *oracle.RefPOM
-	if s.pom != nil {
-		pomSmall = oracle.NewRefPOM(h, s.pom.Small)
-		pomLarge = oracle.NewRefPOM(h, s.pom.Large)
-		oracle.NewRefDRAM(h, s.pom.DRAMChannel())
-	}
-	if s.l4 != nil {
-		oracle.NewRefCache(h, s.l4)
-		oracle.NewRefDRAM(h, s.l4chan)
-	}
-	if s.shared != nil {
-		oracle.NewRefTLB(h, s.shared)
-	}
-	sc := &SelfCheck{h: h, sys: s, pomSmall: pomSmall, pomLarge: pomLarge}
+	sc := &SelfCheck{h: h, sys: s}
+	s.scheme.AttachSelfCheck(s, sc)
 	s.selfCheck = sc
 	return sc
 }
@@ -146,25 +134,7 @@ func (s *System) CheckInvariants() error {
 			return err
 		}
 	}
-	if s.pom != nil {
-		if err := s.pom.CheckInvariants(); err != nil {
-			return err
-		}
-	}
-	if s.l4 != nil {
-		if err := s.l4.CheckInvariants(); err != nil {
-			return err
-		}
-		if err := s.l4chan.CheckInvariants(); err != nil {
-			return err
-		}
-	}
-	if s.shared != nil {
-		if err := s.shared.CheckInvariants(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.scheme.CheckInvariants(s)
 }
 
 // CheckAccounting validates the Result's conservation identities: every

@@ -7,10 +7,12 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/dramcache"
 	"repro/internal/pagetable"
 	"repro/internal/pomtlb"
 	"repro/internal/tlb"
 	"repro/internal/tsb"
+	"repro/internal/victima"
 	"repro/internal/virt"
 )
 
@@ -58,10 +60,16 @@ type System struct {
 	l4chan *dram.Channel
 	// shared is the Shared_L2 scheme's combined SRAM TLB.
 	shared *tlb.TLB
+	// vict is the Victima mode's per-core cache-resident TLB stores (nil
+	// when the mode is off or the donation is zero).
+	vict []*victima.Store
+	// dcache is the DRAMCache mode's die-stacked page-walk cache.
+	dcache *dramcache.Cache
 
-	// ops is the scheme dispatch table for cfg.Mode, resolved once at
-	// construction so no event path switches on the mode.
-	ops schemeOps
+	// scheme is the registered translation scheme for cfg.Mode, resolved
+	// exactly once at construction so no event path performs a registry
+	// lookup — the hot path is a single devirtualizable indirect call.
+	scheme Scheme
 
 	// lastWalkLatency threads the most recent walk's latency from
 	// mustWalk to the calling scheme path.
@@ -89,6 +97,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.Mode = cfg.Mode.normalize()
 	cfg.L2.Priority = cfg.CachePriority
 	cfg.L3.Priority = cfg.CachePriority
 	s := &System{
@@ -112,10 +121,8 @@ func NewSystem(cfg Config) (*System, error) {
 			s.vms = append(s.vms, vm)
 		}
 	}
-	s.ops = modeOps[cfg.Mode]
-	if s.ops.build != nil {
-		s.ops.build(s)
-	}
+	s.scheme, _ = SchemeFor(cfg.Mode) // existence checked by Validate
+	s.scheme.Build(s)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
 			id:    i,
@@ -148,17 +155,25 @@ func (s *System) Hypervisor() *virt.Hypervisor { return s.hyp }
 
 // walkMemFunc returns the MemFunc routing a core's page-table-entry reads
 // through its data-cache hierarchy (PTEs are cached like data in x86).
+// Walk references are flagged so the DRAMCache scheme's die-stacked
+// page-walk cache sees them and only them.
 func (s *System) walkMemFunc(c *coreState) pagetable.MemFunc {
 	return func(a addr.HPA, write bool) uint64 {
-		return s.dataAccess(c, a, write, cache.Data)
+		return s.access(c, a, write, cache.Data, true)
 	}
 }
 
-// dataAccess performs one memory access through L1D → L2 → L3 → DRAM at
+// dataAccess is access for ordinary (non-walk) references.
+func (s *System) dataAccess(c *coreState, a addr.HPA, write bool, kind cache.Kind) uint64 {
+	return s.access(c, a, write, kind, false)
+}
+
+// access performs one memory access through L1D → L2 → L3 → DRAM at
 // the core's current time cursor, advances the cursor by the access
 // latency, and returns that latency. kind tags the line for the split
-// statistics.
-func (s *System) dataAccess(c *coreState, a addr.HPA, write bool, kind cache.Kind) uint64 {
+// statistics; walkRef marks page-walk PTE references (the only ones the
+// DRAMCache scheme's stacked cache services).
+func (s *System) access(c *coreState, a addr.HPA, write bool, kind cache.Kind, walkRef bool) uint64 {
 	line := a.Line()
 	if write && s.cfg.Coherence {
 		s.invalidateOthers(c, line)
@@ -203,6 +218,18 @@ func (s *System) dataAccess(c *coreState, a addr.HPA, write bool, kind cache.Kin
 			return lat
 		}
 	}
+	if walkRef && s.dcache != nil {
+		// DRAMCache mode: PTE reads that missed on chip are serviced from
+		// the die-stacked page-walk cache before going off chip.
+		if dlat, hit := s.dcache.Probe(c.now+lat, a, write); hit {
+			lat += dlat
+			s.fillL3(c, line, false, kind)
+			s.fillL2(c, line, false, kind)
+			s.fillL1(c, line, write, kind)
+			c.now += lat
+			return lat
+		}
+	}
 	// Miss everywhere: fetch the line from memory (write-allocate).
 	lat += s.memFetch(c.now+lat, a, kind)
 	if s.l4 != nil {
@@ -211,6 +238,14 @@ func (s *System) dataAccess(c *coreState, a addr.HPA, write bool, kind cache.Kin
 			s.ddrFor(addr.HPA(ev.Line<<addr.CacheLineShift)).Access(c.now, addr.HPA(ev.Line<<addr.CacheLineShift), true)
 		}
 		s.l4chan.Access(c.now, a.LineBase(), true)
+	}
+	if walkRef && s.dcache != nil {
+		// Fill the stacked cache; its dirty victim retires off chip, both
+		// off the critical path.
+		if victim, dirty := s.dcache.Fill(c.now, a); dirty {
+			va := addr.HPA(victim << addr.CacheLineShift)
+			s.ddrFor(va).Access(c.now, va, true)
+		}
 	}
 	s.fillL3(c, line, false, kind)
 	s.fillL2(c, line, false, kind)
@@ -285,7 +320,16 @@ func (s *System) fillL1(c *coreState, line uint64, dirty bool, kind cache.Kind) 
 }
 
 func (s *System) fillL2(c *coreState, line uint64, dirty bool, kind cache.Kind) {
-	if ev := c.l2.Fill(line, dirty, kind); ev.Valid && ev.Dirty {
+	ev := c.l2.Fill(line, dirty, kind)
+	if !ev.Valid {
+		return
+	}
+	if s.vict != nil && ev.Kind == cache.TLBEntry {
+		// Victima: an evicted TLB block takes its translations with it —
+		// the residency invariant (occupied block ⇒ L2-resident line).
+		s.vict[c.id].DropLine(ev.Line)
+	}
+	if ev.Dirty {
 		s.fillL3(c, ev.Line, true, ev.Kind)
 	}
 }
@@ -373,9 +417,7 @@ func (s *System) seed(c *coreState, va addr.VA) {
 		size = e.Size
 		hpa = addr.FromPFN(e.PFN, e.Size, 0)
 	}
-	if s.ops.seed != nil {
-		s.ops.seed(s, c, va, size, hpa.PFN(size))
-	}
+	s.scheme.Seed(s, c, va, size, hpa.PFN(size))
 }
 
 // walk performs the mode-appropriate page walk for a core.
@@ -424,9 +466,7 @@ func (s *System) Shootdown(vmid addr.VMID, pid addr.PID, va addr.VA, size addr.P
 		// PSCs and the nested TLB may cache stale structure pointers.
 		c.walker.InvalidateAll()
 	}
-	if s.ops.shootdown != nil {
-		s.ops.shootdown(s, vmid, pid, va, vpn, size)
-	}
+	s.scheme.Shootdown(s, vmid, pid, va, vpn, size)
 	return unmapped
 }
 
@@ -444,11 +484,7 @@ func (s *System) ProcessExit(vmid addr.VMID, pid addr.PID) int {
 		c.l2tlb.InvalidateProcess(vmid, pid)
 		c.walker.InvalidateAll()
 	}
-	n := 0
-	if s.ops.processExit != nil {
-		n = s.ops.processExit(s, vmid, pid)
-	}
-	return n
+	return s.scheme.ProcessExit(s, vmid, pid)
 }
 
 // String summarises the system.

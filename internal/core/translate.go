@@ -27,6 +27,8 @@ const (
 	ResShared
 	// ResTSB is a translation-storage-buffer hit.
 	ResTSB
+	// ResVictima is a hit in the Victima scheme's cache-resident TLB store.
+	ResVictima
 	// ResWalk means a full page walk was needed.
 	ResWalk
 
@@ -50,6 +52,8 @@ func (r ResolveLevel) String() string {
 		return "SharedTLB"
 	case ResTSB:
 		return "TSB"
+	case ResVictima:
+		return "Victima"
 	case ResWalk:
 		return "PageWalk"
 	}
@@ -75,7 +79,7 @@ func (s *System) translate(c *coreState, va addr.VA) (addr.HPA, uint64) {
 	c.now += s.cfg.L2MissPenalty
 
 	missStart := c.now
-	e := s.ops.path(s, c, va)
+	e := s.scheme.Path(s, c, va)
 	s.res.PenaltyCycles += c.now - missStart
 	return addr.Translate(va, e.PFN, e.Size), c.now - t0
 }
@@ -232,6 +236,41 @@ func (s *System) pomProbe(c *coreState, va addr.VA, size addr.PageSize, probeCac
 		return e, true, false
 	}
 	return pomtlb.Entry{}, false, false
+}
+
+// victimaPath implements Victima's dual lookup: the L2 TLB miss probes
+// the core's cache-resident TLB store through the L2 data-cache port
+// (one L2 latency, charged hit or miss), and only a store miss starts
+// the walk. A hit touches the block's real cache line to keep its
+// recency honest against competing data; a walk's result is installed
+// into a donated block whose line fills the L2 like any TLB-entry fill.
+func (s *System) victimaPath(c *coreState, va addr.VA) tlb.Entry {
+	if s.vict == nil {
+		// Zero donated ways: the scheme degenerates to the exact baseline.
+		return s.baselinePath(c, va)
+	}
+	v := s.vict[c.id]
+	c.now += c.l2.Latency()
+	if e, si, ok := v.Lookup(c.vmid, c.pid, va); ok {
+		if !c.l2.Access(v.Line(si), false, cache.TLBEntry) {
+			// The residency invariant says this cannot miss (DropLine
+			// empties evicted blocks); restore it defensively so the store
+			// and cache cannot drift further apart.
+			s.fillL2(c, v.Line(si), false, cache.TLBEntry)
+		}
+		c.insertTLBs(e)
+		s.res.Resolved[ResVictima]++
+		return e
+	}
+	e := s.mustWalkAt(c, va)
+	if e.Size != addr.Page1G {
+		// No 1 GB slots (same as the POM-TLB's partitions).
+		si, _, _ := v.Insert(e)
+		s.fillL2(c, v.Line(si), false, cache.TLBEntry)
+	}
+	c.insertTLBs(e)
+	s.res.Resolved[ResWalk]++
+	return e
 }
 
 // sharedPath is the Shared_L2 comparison scheme: one SRAM TLB with the

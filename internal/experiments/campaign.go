@@ -119,7 +119,7 @@ func (f *failureSet) absorb(err error) {
 		}
 		return
 	}
-	f.record(err, "(campaign)", 0)
+	f.record(err, "(campaign)", "")
 }
 
 // err returns nil for a clean campaign, else a deterministic-order

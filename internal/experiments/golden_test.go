@@ -64,6 +64,20 @@ func TestReportGolden(t *testing.T) {
 	goldenCompare(t, "report_quick.golden", []byte(sb.String()))
 }
 
+// TestCrossSchemeGolden pins the cross-scheme comparison table on its
+// own: the table covers every registered scheme, so a new registration
+// or a behaviour change in any scheme's translation path shows up here
+// even if the scheme has no dedicated figure.
+func TestCrossSchemeGolden(t *testing.T) {
+	rows, err := CrossScheme(NewRunner(goldenOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteCrossScheme(&sb, rows)
+	goldenCompare(t, "cross_scheme_quick.golden", []byte(sb.String()))
+}
+
 // TestCSVGolden pins every figure CSV. The CSVs are concatenated into
 // one golden with filename banners so the fixture stays a single
 // reviewable file.

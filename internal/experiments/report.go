@@ -137,6 +137,16 @@ func ReportContext(ctx context.Context, w io.Writer, opts Options, ablations boo
 	}
 	fmt.Fprintf(w, "```\n%s```\n\n", t.String())
 
+	// Cross-scheme comparison over the full registry.
+	xs, err := CrossSchemeContext(ctx, r)
+	fs.absorb(err)
+	fmt.Fprintf(w, "## Cross-scheme comparison — every registered scheme\n\n")
+	fmt.Fprintf(w, "All schemes the registry knows, on one axis. Improvement uses the\n")
+	fmt.Fprintf(w, "linear model against the measured baseline and is only defined for\n")
+	fmt.Fprintf(w, "calibrated schemes; fully-simulated walkers (l4-cache, dram-cache)\n")
+	fmt.Fprintf(w, "show \"—\" because their penalties cannot be mixed with measured ones.\n\n")
+	WriteCrossScheme(w, xs)
+
 	if ablations {
 		writeAbl := func(title, paperNote string, pts []AblationPoint) {
 			fmt.Fprintf(w, "## %s\n\n%s\n\n", title, paperNote)

@@ -238,8 +238,10 @@ func SimulateCell(ctx context.Context, opts Options, name string, mode core.Mode
 			return resilience.Permanent(fmt.Errorf("experiments: unknown workload %q", name))
 		}
 		cfg := opts.config(mode)
-		if mode != core.Baseline && !opts.UncalibratedWalks {
+		if mode != core.Baseline && !opts.UncalibratedWalks && core.CalibratedWalks(mode) {
 			// Charge scheme-run walks at the measured baseline cost (§3.3).
+			// Schemes whose benefit lives inside the walk (l4-cache,
+			// dram-cache) opt out via CalibratedWalks and simulate walks.
 			pen := p.CyclesPerMissVirt
 			if !opts.Virtualized {
 				pen = p.CyclesPerMissNative

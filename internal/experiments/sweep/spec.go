@@ -179,12 +179,11 @@ func parseModes(list []string) ([]core.Mode, error) {
 }
 
 func parseMode(s string) (core.Mode, error) {
-	for m := core.Baseline; m <= core.L4Cache; m++ {
-		if m.String() == s {
-			return m, nil
-		}
+	m, err := core.ParseMode(s)
+	if err != nil {
+		return "", fmt.Errorf("sweep: unknown scheme %q (%s)", s, strings.Join(core.ModeNames(), ", "))
 	}
-	return 0, fmt.Errorf("sweep: unknown scheme %q", s)
+	return m, nil
 }
 
 func parseUints(axis string, list []string) ([]uint64, error) {

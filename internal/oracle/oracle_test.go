@@ -9,6 +9,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/pomtlb"
 	"repro/internal/tlb"
+	"repro/internal/victima"
 )
 
 // randVA returns a page-aligned VA inside a small footprint so lookups
@@ -167,6 +168,46 @@ func TestRefPOMAgreement(t *testing.T) {
 	}
 }
 
+func TestRefVictimaAgreement(t *testing.T) {
+	h := NewHarness()
+	prod := victima.MustNew(victima.Config{Name: "test", Sets: 64, DonatedWays: 2}, 1<<52)
+	NewRefVictima(h, prod)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200_000; i++ {
+		vm := addr.VMID(rng.Intn(2))
+		pid := addr.PID(rng.Intn(3))
+		size := randSize(rng)
+		va := randVA(rng, size)
+		switch op := rng.Intn(100); {
+		case op < 50:
+			prod.Lookup(vm, pid, va)
+		case op < 88:
+			prod.Insert(tlb.Entry{
+				VM: vm, PID: pid, VPN: va.VPN(size), PFN: uint64(rng.Int63n(1 << 30)),
+				Size: size, Valid: true,
+			})
+		case op < 94:
+			prod.InvalidatePage(vm, pid, va.VPN(size), size)
+		case op < 97:
+			prod.InvalidateProcess(vm, pid)
+		case op < 99:
+			// The L2 evicted one of the store's lines out from under it.
+			prod.DropLine(1<<52 + uint64(rng.Intn(64)))
+		default:
+			prod.InvalidateAll()
+		}
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("reference diverged from production victima store: %v", err)
+	}
+	if err := prod.CheckInvariants(); err != nil {
+		t.Fatalf("production victima invariants: %v", err)
+	}
+	if h.Decisions() == 0 {
+		t.Fatal("no decisions checked")
+	}
+}
+
 // The watchdog must itself be tested: attaching a reference to a model
 // that already holds state the reference never saw must produce
 // divergences, proving the oracle actually detects drift.
@@ -212,6 +253,18 @@ func TestRefPOMDetectsDrift(t *testing.T) {
 	h := NewHarness()
 	NewRefPOM(h, prod.Small)
 	prod.Small.Search(1, 2, addr.VA(0x42<<12))
+	if h.Divergences() == 0 {
+		t.Fatal("oracle missed a production entry the reference never saw")
+	}
+}
+
+func TestRefVictimaDetectsDrift(t *testing.T) {
+	prod := victima.MustNew(victima.Config{Name: "test", Sets: 64, DonatedWays: 2}, 1<<52)
+	e := tlb.Entry{VM: 1, PID: 2, VPN: 0x42, PFN: 0x99, Size: addr.Page4K, Valid: true}
+	prod.Insert(e) // before the shadow attaches: invisible to the reference
+	h := NewHarness()
+	NewRefVictima(h, prod)
+	prod.Lookup(1, 2, addr.VA(0x42<<12))
 	if h.Divergences() == 0 {
 		t.Fatal("oracle missed a production entry the reference never saw")
 	}

@@ -33,8 +33,11 @@ import (
 const SchemaVersion = 1
 
 // Schemes is the trajectory's scheme matrix: the paper's baseline plus
-// the three large-structure schemes the evaluation compares.
-var Schemes = []core.Mode{core.Baseline, core.SharedL2, core.TSB, core.POMTLB}
+// the three large-structure schemes the evaluation compares, and the two
+// registered competitor schemes (adding schemes here is gate-safe: the
+// comparison only fails on schemes *missing* from the new trajectory).
+var Schemes = []core.Mode{core.Baseline, core.SharedL2, core.TSB, core.POMTLB,
+	core.Victima, core.DRAMCache}
 
 // Config sizes one trajectory measurement.
 type Config struct {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
@@ -82,6 +83,61 @@ func FuzzIngest(f *testing.F) {
 		}
 		if m.Ingested != wantAccepted {
 			t.Fatalf("session ingested %d records, want %d", m.Ingested, wantAccepted)
+		}
+	})
+}
+
+// FuzzCreateSession throws arbitrary scheme names (and a couple of other
+// knobs) at session creation. The invariants: the handler never panics;
+// a request naming a registered scheme (or none) with sane geometry
+// yields 201 and a session whose mode echoes the registry's name; any
+// unknown scheme name yields 400, never a session.
+func FuzzCreateSession(f *testing.F) {
+	for _, n := range core.ModeNames() {
+		f.Add(n, 1, false)
+	}
+	f.Add("", 2, true)
+	f.Add("bogus", 1, false)
+	f.Add("POM-TLB", 1, false)
+	f.Add("victima", 0, false)
+	f.Add("dram-cache", -3, true)
+	f.Fuzz(func(t *testing.T, mode string, cores int, native bool) {
+		srv := New(Config{})
+		defer srv.Close()
+		mux := srv.Handler()
+
+		req := CreateRequest{Mode: mode, Cores: cores, Native: native}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/sessions", bytes.NewReader(body)))
+
+		_, parseErr := core.ParseMode(mode)
+		modeOK := mode == "" || parseErr == nil
+		switch rec.Code {
+		case http.StatusCreated:
+			if !modeOK {
+				t.Fatalf("created a session for unregistered mode %q", mode)
+			}
+			var created struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+				t.Fatal(err)
+			}
+			rec = httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", "/sessions/"+created.ID+"/metrics", nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("metrics on fresh session: status %d", rec.Code)
+			}
+		case http.StatusBadRequest:
+			if modeOK && cores > 0 && cores <= 256 {
+				t.Fatalf("rejected a valid request (mode %q, cores %d): %s", mode, cores, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("create session: unexpected status %d (%s)", rec.Code, rec.Body.Bytes())
 		}
 	})
 }

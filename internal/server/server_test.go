@@ -167,7 +167,8 @@ func TestHTTPOfflineParity(t *testing.T) {
 	recs := trace.Collect(parityGen(), 30_000)
 	wire := encodeTrace(t, recs)
 
-	for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.SharedL2, core.TSB} {
+	for _, mode := range []core.Mode{core.Baseline, core.POMTLB, core.SharedL2, core.TSB,
+		core.Victima, core.DRAMCache} {
 		t.Run(mode.String(), func(t *testing.T) {
 			cfg := core.DefaultConfig()
 			cfg.Mode = mode

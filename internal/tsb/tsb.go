@@ -129,6 +129,14 @@ func (t *TSB) Lookup(vm addr.VMID, pid addr.PID, va addr.VA, size addr.PageSize)
 	return 0, false
 }
 
+// Peek reports whether the buffer holds the page's translation without
+// touching the lookup statistics — the conformance suite's logical
+// residual probe.
+func (t *TSB) Peek(vm addr.VMID, pid addr.PID, vpn uint64, size addr.PageSize) bool {
+	e := t.slots[t.index(vm, vpn)]
+	return e.valid && e.vm == vm && e.pid == pid && e.size == size && e.vpn == vpn
+}
+
 // Insert stores a resolved translation, displacing whatever lived in the
 // slot (direct-mapped: no choice of victim).
 func (t *TSB) Insert(vm addr.VMID, pid addr.PID, vpn, pfn uint64, size addr.PageSize) {
