@@ -8,6 +8,8 @@
 //	experiments -table 2                  # one table
 //	experiments -report EXPERIMENTS.md    # write the full markdown report
 //	experiments -quick -fig 8             # short traces, 2 cores
+//	experiments -consolidation consol-zipf        # per-tenant-tier table
+//	experiments -workloads consol-churn -tenants 200 -churn 5000 -fig 8
 //	experiments -all -checkpoint c.json   # journal completed cells
 //	experiments -all -checkpoint c.json -resume   # skip journaled cells
 //
@@ -73,6 +75,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		warmup    = fs.Int("warmup", 500_000, "warmup references per run")
 		wl        = fs.String("workloads", "", "comma-separated benchmark subset")
 		ablations = fs.Bool("ablations", false, "include the §4.6 ablation sweeps")
+		consol    = fs.String("consolidation", "", "run a consolidation scenario and print the per-tenant-tier cross-scheme table: "+strings.Join(workloads.ConsolidationNames(), ", "))
+		tenants   = fs.Int("tenants", 0, "override a consolidation preset's guest count (0 = preset)")
+		churn     = fs.Int("churn", 0, "override a consolidation preset's shootdown-storm interval in records (-1 = off, 0 = preset)")
+		phases    = fs.Int("phases", 0, "override a consolidation preset's working-set phase count (0 = preset)")
 		csvDir    = fs.String("csv", "", "write per-figure CSV files into this directory")
 		ckptPath  = fs.String("checkpoint", "", "journal completed (workload, scheme) cells to this JSON file")
 		resume    = fs.Bool("resume", false, "reuse cells already journaled in -checkpoint and run only the missing ones")
@@ -117,8 +123,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-fault-rate must be in [0, 1] (got %g)", *faultRate)
 	case *faultPanic < 0 || *faultPanic > 1:
 		return fmt.Errorf("-fault-panic-rate must be in [0, 1] (got %g)", *faultPanic)
-	case *sweepSpec != "" && (*all || *fig != 0 || *table != 0 || *report != "" || *csvDir != ""):
-		return fmt.Errorf("-sweep cannot be combined with -all/-fig/-table/-report/-csv")
+	case *tenants < 0 || (*tenants > 0 && *tenants < 3):
+		return fmt.Errorf("-tenants must be 0 (inherit) or at least 3 (got %d)", *tenants)
+	case *churn < -1:
+		return fmt.Errorf("-churn must be a positive interval, -1 (off) or 0 (inherit) (got %d)", *churn)
+	case *phases < 0:
+		return fmt.Errorf("-phases must be non-negative (got %d)", *phases)
+	case *sweepSpec != "" && (*all || *fig != 0 || *table != 0 || *report != "" || *csvDir != "" || *consol != ""):
+		return fmt.Errorf("-sweep cannot be combined with -all/-fig/-table/-report/-csv/-consolidation")
+	case *consol != "" && (*all || *fig != 0 || *table != 0 || *report != ""):
+		return fmt.Errorf("-consolidation cannot be combined with -all/-fig/-table/-report")
 	case *sweepSpec == "" && (*faultRate > 0 || *faultPanic > 0):
 		return fmt.Errorf("-fault-rate/-fault-panic-rate require -sweep")
 	case *sweepSpec == "" && (*sweepCSV != "" || *manifest != ""):
@@ -135,12 +149,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 		for _, n := range opts.Workloads {
-			if _, ok := workloads.ByName(n); !ok {
-				return fmt.Errorf("unknown workload %q (known: %s)", n, strings.Join(workloads.Names(), ", "))
+			if _, ok := workloads.ByName(n); ok {
+				continue
 			}
+			if _, ok := workloads.ConsolidationByName(n); ok {
+				continue
+			}
+			return fmt.Errorf("unknown workload %q (known: %s; consolidation: %s)", n,
+				strings.Join(workloads.Names(), ", "), strings.Join(workloads.ConsolidationNames(), ", "))
 		}
 	}
 	opts.WorkloadTimeout = *timeout
+	opts.Tenants = *tenants
+	opts.ChurnEvery = *churn
+	opts.Phases = *phases
+
+	if *consol != "" {
+		preset, ok := workloads.ConsolidationByName(*consol)
+		if !ok {
+			return fmt.Errorf("unknown consolidation preset %q (known: %s)", *consol, strings.Join(workloads.ConsolidationNames(), ", "))
+		}
+		fmt.Fprintf(out, "%s — %s\n\n", preset.Name, preset.Description)
+		rows, err := experiments.ConsolidationTiersContext(ctx, experiments.NewRunner(opts), preset.Name, nil)
+		experiments.WriteConsolidationTiers(out, rows)
+		return describeDegraded(out, err)
+	}
 
 	if *sweepSpec != "" {
 		return runSweep(ctx, out, opts, sweepFlags{

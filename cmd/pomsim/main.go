@@ -4,6 +4,8 @@
 //
 //	pomsim -workload mcf -mode pom-tlb -cores 8 -refs 500000
 //	pomsim -workload mcf -sweep 'schemes=pom-tlb,tsb:pom-mb=4,8,16'
+//	pomsim -workload consol-zipf -compare               # consolidation scenario
+//	pomsim -workload consol-churn -tenants 200 -churn 5000
 //	pomsim -config experiment.json
 //	pomsim -list
 //
@@ -62,6 +64,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		compare  = fs.Bool("compare", false, "run every scheme on the workload and print a comparison")
 		selfchk  = fs.Bool("selfcheck", false, "run the differential-verification matrix (workloads × schemes under lockstep reference models) and exit non-zero on any divergence")
 		list     = fs.Bool("list", false, "list workloads and exit")
+		tenants  = fs.Int("tenants", 0, "consolidation: override the preset's guest count (0 = preset)")
+		churn    = fs.Int("churn", 0, "consolidation: override the storm interval in records (-1 = off, 0 = preset)")
+		phases   = fs.Int("phases", 0, "consolidation: override the working-set phase count (0 = preset)")
 
 		sweepSpec = fs.String("sweep", "", "sweep the workload over this geometry grid, e.g. 'schemes=pom-tlb,tsb:pom-mb=4,8,16:pom-ways=2,4'")
 		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "sweep worker shards (work-stealing pool size)")
@@ -94,10 +99,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-quarantine-after must be at least 1 (got %d)", *quarAfter)
 	case *sweepSpec != "" && (*compare || *selfchk || *trcPath != "" || *cfgPath != ""):
 		return fmt.Errorf("-sweep cannot be combined with -compare/-selfcheck/-trace/-config")
+	case *tenants < 0 || (*tenants > 0 && *tenants < 3):
+		return fmt.Errorf("-tenants must be 0 (inherit) or at least 3 (got %d)", *tenants)
+	case *churn < -1:
+		return fmt.Errorf("-churn must be a positive interval, -1 (off) or 0 (inherit) (got %d)", *churn)
+	case *phases < 0:
+		return fmt.Errorf("-phases must be non-negative (got %d)", *phases)
 	}
 	if *list {
 		for _, name := range workloads.Names() {
 			fmt.Fprintln(out, name)
+		}
+		for _, c := range workloads.Consolidations() {
+			fmt.Fprintf(out, "%s — %s\n", c.Name, c.Description)
 		}
 		return nil
 	}
@@ -126,12 +140,52 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		file = config.File{Workload: *workload, Config: cfg}
 	}
 
+	cfg := file.Config
+	base := experiments.Options{
+		Cores:        cfg.Cores,
+		VMs:          cfg.VMs,
+		WarmupRefs:   cfg.WarmupRefs,
+		MaxRefs:      cfg.MaxRefs,
+		Seed:         cfg.Seed,
+		Virtualized:  cfg.Virtualized,
+		POMSizeBytes: cfg.POM.SizeBytes,
+		Tenants:      *tenants,
+		ChurnEvery:   *churn,
+		Phases:       *phases,
+		Workloads:    []string{file.Workload},
+	}
+
+	if preset, isConsol := workloads.ConsolidationByName(file.Workload); isConsol {
+		if *trcPath != "" {
+			return fmt.Errorf("-trace replay cannot drive consolidation scenario %q", file.Workload)
+		}
+		switch {
+		case *sweepSpec != "":
+			return runGeometrySweep(ctx, out, file.Workload, base, *sweepSpec, *shards, *budget, *quarAfter)
+		case *selfchk:
+			return runSelfCheck(ctx, out, cfg)
+		case *compare:
+			return runConsolidationComparison(ctx, out, preset, base)
+		}
+		res, err := experiments.SimulateCell(ctx, base, preset.Name, cfg.Mode)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		}
+		printConsolidationResult(out, preset, base, res)
+		return nil
+	}
+
 	p, ok := workloads.ByName(file.Workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q (try -list)", file.Workload)
 	}
 	if *sweepSpec != "" {
-		return runGeometrySweep(ctx, out, p, file.Config, *sweepSpec, *shards, *budget, *quarAfter)
+		return runGeometrySweep(ctx, out, p.Name, base, *sweepSpec, *shards, *budget, *quarAfter)
 	}
 	if *selfchk {
 		return runSelfCheck(ctx, out, file.Config)
@@ -236,21 +290,13 @@ func printResult(out io.Writer, p workloads.Profile, res core.Result) {
 // the sharded sweep engine and prints the per-cell metrics as a table.
 // Quarantined cells are listed after the table and make the command exit
 // non-zero without suppressing the completed rows.
-func runGeometrySweep(ctx context.Context, out io.Writer, p workloads.Profile, cfg core.Config,
+func runGeometrySweep(ctx context.Context, out io.Writer, name string, base experiments.Options,
 	specStr string, shards, budget, quarAfter int) error {
 	spec, err := sweep.ParseSpec(specStr)
 	if err != nil {
 		return err
 	}
-	base := experiments.Options{
-		Cores:       cfg.Cores,
-		VMs:         cfg.VMs,
-		WarmupRefs:  cfg.WarmupRefs,
-		MaxRefs:     cfg.MaxRefs,
-		Seed:        cfg.Seed,
-		Virtualized: cfg.Virtualized,
-		Workloads:   []string{p.Name},
-	}
+	base.Workloads = []string{name}
 	rep, runErr := sweep.Run(ctx, sweep.Config{
 		Base:            base,
 		Spec:            spec,
@@ -271,7 +317,7 @@ func runGeometrySweep(ctx context.Context, out io.Writer, p workloads.Profile, c
 			stats.Pct(r.Res.L2TLB.Ratio()),
 			fmt.Sprintf("%.3f", r.Res.IPC()))
 	}
-	fmt.Fprintf(out, "workload %s — %d-cell geometry sweep\n\n%s", p.Name, rep.Total, t.String())
+	fmt.Fprintf(out, "workload %s — %d-cell geometry sweep\n\n%s", name, rep.Total, t.String())
 	for _, q := range rep.Quarantined {
 		fmt.Fprintf(out, "quarantined: %s after %d attempt(s): %s\n", q.Key, q.Attempts, q.Error)
 	}
@@ -366,6 +412,63 @@ func runSelfCheck(ctx context.Context, out io.Writer, base core.Config) error {
 		return fmt.Errorf("self-check found divergences")
 	}
 	fmt.Fprintln(out, "\nself-check clean: production models agree with reference models")
+	return nil
+}
+
+// printConsolidationResult renders one consolidation run: the scenario
+// shape, the headline metrics, and the per-tenant-tier breakdown.
+func printConsolidationResult(out io.Writer, preset workloads.Consolidation, opts experiments.Options, res core.Result) {
+	guests := preset.Guests
+	if opts.Tenants > 0 {
+		guests = opts.Tenants
+	}
+	fmt.Fprintf(out, "scenario  %s — %s\n", preset.Name, preset.Description)
+	fmt.Fprintf(out, "guests    %d (Zipf tenant popularity, hot/warm/cold tiers)\n", guests)
+	fmt.Fprintf(out, "scheme    %s\n", res.Mode)
+	fmt.Fprintf(out, "refs      %d  (IPC %.3f)\n\n", res.Records, res.IPC())
+
+	t := stats.NewTable("metric", "value")
+	t.AddRow("L1 TLB hit", stats.Pct(res.L1TLB.Ratio()))
+	t.AddRow("L2 TLB hit", stats.Pct(res.L2TLB.Ratio()))
+	t.AddRow("P_avg (cycles per L2 TLB miss)", fmt.Sprintf("%.1f", res.AvgPenalty()))
+	t.AddRow("page walks eliminated", stats.Pct(res.WalkEliminationRate()))
+	if res.POMDRAM.Total() > 0 {
+		t.AddRow("POM-TLB (DRAM) hit", stats.Pct(res.POMDRAM.Ratio()))
+	}
+	fmt.Fprint(out, t.String())
+
+	if res.HasTiers() {
+		fmt.Fprintln(out)
+		tt := stats.NewTable("tier", "ref share", "SRAM TLB hit", "walk elim", "P_avg")
+		for tier := 0; tier < core.NumTiers; tier++ {
+			tt.AddRow(core.TierNames[tier],
+				stats.Pct(res.TierShare(tier)),
+				stats.Pct(res.TierSRAMHitRatio(tier)),
+				stats.Pct(res.TierWalkElim(tier)),
+				fmt.Sprintf("%.1f", res.TierAvgPenalty(tier)))
+		}
+		fmt.Fprint(out, tt.String())
+	}
+}
+
+// runConsolidationComparison runs the scenario under every registered
+// scheme on the identical tenant plan and prints headline plus hot/cold
+// tier penalties side by side. Improvement columns are omitted: no
+// measured baseline exists for a synthetic tenant mix.
+func runConsolidationComparison(ctx context.Context, out io.Writer, preset workloads.Consolidation, base experiments.Options) error {
+	t := stats.NewTable("scheme", "P_avg", "walk elim", "hot elim", "cold elim", "cold P_avg")
+	for _, mode := range core.Modes() {
+		res, err := experiments.SimulateCell(ctx, base, preset.Name, mode)
+		if err != nil {
+			return err
+		}
+		t.AddRow(mode.String(), fmt.Sprintf("%.1f", res.AvgPenalty()),
+			stats.Pct(res.WalkEliminationRate()),
+			stats.Pct(res.TierWalkElim(0)),
+			stats.Pct(res.TierWalkElim(2)),
+			fmt.Sprintf("%.1f", res.TierAvgPenalty(2)))
+	}
+	fmt.Fprintf(out, "scenario %s — all schemes, identical tenant plan\n\n%s", preset.Name, t.String())
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/addr"
 	"repro/internal/trace"
 )
 
@@ -82,6 +83,56 @@ func TestSteadyStateZeroAllocsNeighborPrefetch(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("neighbor-prefetch: %.3f allocs per window in steady state, want 0", avg)
+	}
+}
+
+// TestSteadyStateZeroAllocsWithScenario pins the consolidation-layer
+// constraint: with a scenario schedule attached (tenant switches at
+// quantum boundaries, tier accounting on), the record loop must stay
+// allocation-free. Events ride the batch boundaries and the per-tier
+// attribution is pure integer work, so nothing may allocate once both
+// tenants' footprints are mapped.
+func TestSteadyStateZeroAllocsWithScenario(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = POMTLB
+	cfg.Cores = 2
+	cfg.VMs = 2
+	cfg.WarmupRefs = 0
+	cfg.MaxRefs = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant switch every 1000 records, alternating both VMs across both
+	// cores, far past the measured window.
+	var events []Event
+	for at := uint64(0); at <= 400_000; at += 1000 {
+		q := at / 1000
+		events = append(events, Event{At: at, Fire: func(s *System) {
+			for c := 0; c < cfg.Cores; c++ {
+				vm := 1 + (q+uint64(c))%2
+				if err := s.SetCoreTenant(c, addr.VMID(vm), 1, uint8(vm%NumTiers)); err != nil {
+					t.Error(err)
+				}
+			}
+		}})
+	}
+	sys.SetEvents(events)
+	ctx := context.Background()
+	g := allocGen(cfg.Cores)
+	if err := sys.Advance(ctx, g, 150_000); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if err := sys.Advance(ctx, g, 2_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("scenario: %.3f allocs per 2000-record window in steady state, want 0", avg)
+	}
+	if !sys.Snapshot().HasTiers() {
+		t.Error("tier breakdown empty despite scenario assignment")
 	}
 }
 

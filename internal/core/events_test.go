@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+func eventsConfig(cores, vms int) Config {
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	cfg.VMs = vms
+	cfg.WarmupRefs = 3000
+	cfg.MaxRefs = 5000
+	return cfg
+}
+
+func eventsGen(threads int) trace.Generator {
+	return trace.NewUniform(trace.Params{
+		Seed: 11, FootprintBytes: 4 << 20, LargeFrac: 0.25,
+		Threads: threads, MeanGap: 2, WriteFrac: 0.2,
+	})
+}
+
+// TestEventsFireAtExactBoundaries pins the event clock: Fire must run
+// when exactly At records (warmup included) have been consumed, in At
+// order, including events at index 0 and at the very end of the run.
+func TestEventsFireAtExactBoundaries(t *testing.T) {
+	cfg := eventsConfig(2, 2)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(cfg.WarmupRefs + cfg.MaxRefs)
+	ats := []uint64{0, 1, 1500, uint64(cfg.WarmupRefs), 4097, total}
+	var fired []uint64
+	var events []Event
+	for _, at := range ats {
+		at := at
+		events = append(events, Event{At: at, Fire: func(s *System) {
+			if s.consumed != at {
+				t.Errorf("event scheduled at %d fired at consumed=%d", at, s.consumed)
+			}
+			fired = append(fired, at)
+		}})
+	}
+	// Install out of order: SetEvents must sort by At.
+	events[0], events[2] = events[2], events[0]
+	sys.SetEvents(events)
+	if _, err := sys.Run(context.Background(), eventsGen(2), "events"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != len(ats) {
+		t.Fatalf("fired %d events, want %d (%v)", len(fired), len(ats), fired)
+	}
+	for i, at := range ats {
+		if fired[i] != at {
+			t.Fatalf("firing order %v, want %v", fired, ats)
+		}
+	}
+}
+
+// TestSetCoreTenantTierAccounting runs a two-tenant assignment and checks
+// the per-tier breakdown: every measured record lands in an assigned
+// tier, the accounting identities hold, and helpers stay in range.
+func TestSetCoreTenantTierAccounting(t *testing.T) {
+	cfg := eventsConfig(2, 2)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetEvents([]Event{{At: 0, Fire: func(s *System) {
+		if err := s.SetCoreTenant(0, 1, 1, 0); err != nil {
+			t.Error(err)
+		}
+		if err := s.SetCoreTenant(1, 2, 1, 2); err != nil {
+			t.Error(err)
+		}
+	}}})
+	res, err := sys.Run(context.Background(), eventsGen(2), "tiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasTiers() {
+		t.Fatal("tier breakdown empty after SetCoreTenant")
+	}
+	if err := res.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for tier := 0; tier < NumTiers; tier++ {
+		sum += res.TierRecords[tier]
+	}
+	if sum != res.Records {
+		t.Fatalf("tier records sum to %d, want %d (tiers assigned from record 0)", sum, res.Records)
+	}
+	if res.TierRecords[0] == 0 || res.TierRecords[2] == 0 {
+		t.Fatalf("both assigned tiers must see traffic: %v", res.TierRecords)
+	}
+	if res.TierRecords[1] != 0 {
+		t.Fatalf("unassigned warm tier saw %d records", res.TierRecords[1])
+	}
+	for tier := 0; tier < NumTiers; tier++ {
+		for name, v := range map[string]float64{
+			"share":   res.TierShare(tier),
+			"sramHit": res.TierSRAMHitRatio(tier),
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("tier %d %s = %v out of [0,1]", tier, name, v)
+			}
+		}
+	}
+}
+
+// TestSetCoreTenantValidation covers the error paths.
+func TestSetCoreTenantValidation(t *testing.T) {
+	sys, err := NewSystem(eventsConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetCoreTenant(7, 1, 1, 0); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := sys.SetCoreTenant(0, 1, 1, NumTiers); err == nil {
+		t.Error("out-of-range tier accepted")
+	}
+	if err := sys.SetCoreTenant(0, 99, 1, 0); err == nil {
+		t.Error("unknown VM accepted")
+	}
+	if err := sys.SetCoreTenant(0, 2, 3, 1); err != nil {
+		t.Errorf("valid reassignment rejected: %v", err)
+	}
+}
+
+// TestEventsDeterministic runs the same scenario schedule (tenant
+// switches plus shootdown bursts) twice and demands identical Results —
+// the invariant the sweep engine's resume byte-identity rests on.
+func TestEventsDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := eventsConfig(2, 3)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []Event
+		for at := uint64(0); at <= uint64(cfg.WarmupRefs+cfg.MaxRefs); at += 500 {
+			at := at
+			vmid := addr.VMID(1 + (at/500)%3)
+			events = append(events, Event{At: at, Fire: func(s *System) {
+				if err := s.SetCoreTenant(int(at/500)%2, vmid, 1, uint8((at/500)%NumTiers)); err != nil {
+					t.Error(err)
+				}
+				if at%1500 == 0 {
+					s.Shootdown(vmid, 1, addr.VA(0x10_0000_0000+at*addr.Bytes4K), addr.Page4K)
+				}
+			}})
+		}
+		sys.SetEvents(events)
+		res, err := sys.Run(context.Background(), eventsGen(2), "det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical scenario runs diverge:\n%+v\n%+v", a, b)
+	}
+}

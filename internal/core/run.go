@@ -83,6 +83,19 @@ type Result struct {
 	// Config.Coherence is enabled.
 	CoherenceInvalidations uint64
 	SnoopTransfers         uint64
+
+	// TierRecords/TierSRAMHits/TierWalks/TierPenalty break translation
+	// behaviour down by the issuing core's scenario tenant tier
+	// (hot/warm/cold, indexed by TierNames). Populated only once a
+	// consolidation scenario has assigned tiers via SetCoreTenant;
+	// otherwise all zero. TierSRAMHits counts references resolved in the
+	// core's own L1/L2 SRAM TLBs; TierWalks counts full page walks;
+	// TierPenalty is the post-L2-miss translation cycles attributed to
+	// the tier.
+	TierRecords  [NumTiers]uint64
+	TierSRAMHits [NumTiers]uint64
+	TierWalks    [NumTiers]uint64
+	TierPenalty  [NumTiers]uint64
 }
 
 // AvgPenalty returns P_avg: mean translation cycles per L2 TLB miss.
@@ -101,6 +114,54 @@ func (r Result) WalkEliminationRate() float64 {
 		return 0
 	}
 	return 1 - float64(r.Resolved[ResWalk])/float64(r.L2TLB.Misses)
+}
+
+// HasTiers reports whether a consolidation scenario populated the
+// per-tier breakdown.
+func (r Result) HasTiers() bool {
+	for _, n := range r.TierRecords {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TierShare returns tier t's fraction of the measured records.
+func (r Result) TierShare(t int) float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.TierRecords[t]) / float64(r.Records)
+}
+
+// TierSRAMHitRatio returns the fraction of tier t's references resolved
+// in the core's own SRAM TLBs.
+func (r Result) TierSRAMHitRatio(t int) float64 {
+	if r.TierRecords[t] == 0 {
+		return 0
+	}
+	return float64(r.TierSRAMHits[t]) / float64(r.TierRecords[t])
+}
+
+// TierWalkElim returns the fraction of tier t's L2 TLB misses resolved
+// without a page walk — the per-tier view of WalkEliminationRate.
+func (r Result) TierWalkElim(t int) float64 {
+	miss := r.TierRecords[t] - r.TierSRAMHits[t]
+	if miss == 0 {
+		return 0
+	}
+	return 1 - float64(r.TierWalks[t])/float64(miss)
+}
+
+// TierAvgPenalty returns tier t's mean translation cycles per L2 TLB
+// miss — the per-tier view of AvgPenalty.
+func (r Result) TierAvgPenalty(t int) float64 {
+	miss := r.TierRecords[t] - r.TierSRAMHits[t]
+	if miss == 0 {
+		return 0
+	}
+	return float64(r.TierPenalty[t]) / float64(miss)
 }
 
 // IPC returns retired instructions per cycle.
@@ -227,6 +288,7 @@ func (s *System) runRecordsLocked(sched *scheduler, n int) error {
 // business: they size n so the loop body carries no per-record checks.
 // Callers synchronize via runRecordsLocked.
 func (s *System) runRecords(sched *scheduler, n int) error {
+	tiered := s.tierTrack
 	for i := 0; i < n; i++ {
 		c := s.minClockCore()
 		rec := sched.next(c.id)
@@ -238,12 +300,30 @@ func (s *System) runRecords(sched *scheduler, n int) error {
 		c.insts += uint64(rec.Gap) + 1
 
 		c.now = c.clock
+		// Per-tier attribution (consolidation scenarios only): deltas of
+		// the aggregate counters across translate, charged to the issuing
+		// core's tier — integer snapshots only, so the loop stays
+		// allocation-free.
+		var sramB, walkB, penB uint64
+		if tiered {
+			sramB = s.res.Resolved[ResL1TLB] + s.res.Resolved[ResL2TLB]
+			walkB = s.res.Resolved[ResWalk]
+			penB = s.res.PenaltyCycles
+		}
 		hpa, _ := s.translate(c, rec.VA)
+		if tiered {
+			t := c.tier
+			s.res.TierRecords[t]++
+			s.res.TierSRAMHits[t] += s.res.Resolved[ResL1TLB] + s.res.Resolved[ResL2TLB] - sramB
+			s.res.TierWalks[t] += s.res.Resolved[ResWalk] - walkB
+			s.res.TierPenalty[t] += s.res.PenaltyCycles - penB
+		}
 		dlat := s.dataAccess(c, hpa, rec.Write, cache.Data)
 		s.res.DataLat.Observe(float64(dlat))
 		c.clock = c.now
 		s.res.Records++
 	}
+	s.consumed += uint64(n)
 	return nil
 }
 
@@ -285,6 +365,7 @@ func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (R
 				workload, i, total, ctx.Err())
 		default:
 		}
+		s.fireDueEvents()
 		if i == s.cfg.WarmupRefs {
 			s.ResetStats()
 		}
@@ -295,11 +376,17 @@ func (s *System) Run(ctx context.Context, g trace.Generator, workload string) (R
 		if next := nextBoundary(i, s.cfg.WarmupRefs, s.selfCheck != nil); next-i < n {
 			n = next - i
 		}
+		if gap, ok := s.nextEventGap(); ok && gap > 0 && gap < uint64(n) {
+			n = int(gap)
+		}
 		if err := s.runRecordsLocked(sched, n); err != nil {
 			return s.res, err
 		}
 		i += n
 	}
+	// Events scheduled exactly at end-of-run still fire (a scenario's
+	// final quantum boundary can coincide with the trace length).
+	s.fireDueEvents()
 	s.finalize()
 	return s.res, nil
 }
@@ -320,7 +407,11 @@ func (s *System) Advance(ctx context.Context, g trace.Generator, n int) error {
 			return ctx.Err()
 		default:
 		}
+		s.fireDueEvents()
 		chunk := min(cancelCheckInterval, n-done)
+		if gap, ok := s.nextEventGap(); ok && gap > 0 && gap < uint64(chunk) {
+			chunk = int(gap)
+		}
 		if err := s.runRecordsLocked(s.sched, chunk); err != nil {
 			return err
 		}

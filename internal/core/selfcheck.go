@@ -160,5 +160,25 @@ func (r Result) CheckAccounting() error {
 		return fmt.Errorf("core %s/%s: %d post-L2-miss resolutions for %d L2 TLB misses",
 			r.Workload, r.Mode, postMiss, r.L2TLB.Misses)
 	}
+	// Per-tier attribution (consolidation scenarios). Tier tracking can
+	// switch on mid-window, so the tier sum may undercount Records but
+	// never exceed it; within a tier, hits and walks must fit inside the
+	// tier's own records.
+	var tierSum uint64
+	for t := 0; t < NumTiers; t++ {
+		tierSum += r.TierRecords[t]
+		if r.TierSRAMHits[t] > r.TierRecords[t] {
+			return fmt.Errorf("core %s/%s: tier %s has %d SRAM hits for %d records",
+				r.Workload, r.Mode, TierNames[t], r.TierSRAMHits[t], r.TierRecords[t])
+		}
+		if r.TierWalks[t] > r.TierRecords[t]-r.TierSRAMHits[t] {
+			return fmt.Errorf("core %s/%s: tier %s has %d walks for %d L2 misses",
+				r.Workload, r.Mode, TierNames[t], r.TierWalks[t], r.TierRecords[t]-r.TierSRAMHits[t])
+		}
+	}
+	if tierSum > r.Records {
+		return fmt.Errorf("core %s/%s: %d tier-attributed records for %d records",
+			r.Workload, r.Mode, tierSum, r.Records)
+	}
 	return nil
 }

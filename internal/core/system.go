@@ -41,6 +41,10 @@ type coreState struct {
 	vm           *virt.VM // nil when running native
 	pid          addr.PID
 	vmid         addr.VMID
+	// tier is the scenario tenant tier (indexing TierNames) the core's
+	// current tenant belongs to; set by SetCoreTenant, meaningful only
+	// when a consolidation scenario is attached.
+	tier uint8
 }
 
 // System is the complete simulated machine.
@@ -88,6 +92,17 @@ type System struct {
 	// from another goroutine mid-run. It is taken once per record batch,
 	// never per record.
 	mu sync.Mutex
+
+	// events is the scenario schedule installed by SetEvents, sorted by
+	// At; nextEvent indexes the first not-yet-fired entry and consumed
+	// counts records consumed since construction (warmup included) —
+	// the clock events fire against.
+	events    []Event
+	nextEvent int
+	consumed  uint64
+	// tierTrack turns on the per-tier accounting in the record loop once
+	// any core has been assigned a scenario tier.
+	tierTrack bool
 
 	res Result
 }

@@ -37,10 +37,14 @@ func Fingerprint(o Options) string {
 		CachePriority     cache.Priority
 		NeighborPrefetch  bool
 		UncalibratedWalks bool
+		Tenants           int
+		ChurnEvery        int
+		Phases            int
 	}{
 		o.Cores, o.VMs, o.WarmupRefs, o.MaxRefs, o.Seed, o.POMSizeBytes,
 		o.POMWays, o.DisableBypass, o.Virtualized, o.CachePriority,
 		o.NeighborPrefetch, o.UncalibratedWalks,
+		o.Tenants, o.ChurnEvery, o.Phases,
 	}
 	b, err := json.Marshal(key)
 	if err != nil { // a struct of scalars cannot fail to marshal

@@ -147,6 +147,17 @@ func ReportContext(ctx context.Context, w io.Writer, opts Options, ablations boo
 	fmt.Fprintf(w, "show \"—\" because their penalties cannot be mixed with measured ones.\n\n")
 	WriteCrossScheme(w, xs)
 
+	// Cloud-consolidation scenario: per-tenant-tier breakdown.
+	tiers, err := ConsolidationTiersContext(ctx, r, DefaultConsolidationPreset, nil)
+	fs.absorb(err)
+	fmt.Fprintf(w, "## Consolidation — %s per-tier breakdown\n\n", DefaultConsolidationPreset)
+	fmt.Fprintf(w, "Hundreds of guests with Zipf tenant popularity (hot/warm/cold tiers).\n")
+	fmt.Fprintf(w, "SRAM TLBs thrash across tenants; a tagged in-memory TLB retains every\n")
+	fmt.Fprintf(w, "tenant's translations at once, so POM-TLB's walk elimination should\n")
+	fmt.Fprintf(w, "hold up on the cold tail where TSB and Shared_L2 fall off. All walks\n")
+	fmt.Fprintf(w, "are simulated (no Table 2 calibration exists for a tenant mix).\n\n")
+	WriteConsolidationTiers(w, tiers)
+
 	if ablations {
 		writeAbl := func(title, paperNote string, pts []AblationPoint) {
 			fmt.Fprintf(w, "## %s\n\n%s\n\n", title, paperNote)

@@ -63,6 +63,15 @@ type Options struct {
 	// combines hardware measurement with scheme simulation (§3.3).
 	UncalibratedWalks bool
 
+	// Tenants, ChurnEvery and Phases apply to consolidation-scenario
+	// workloads only (names resolved via workloads.ConsolidationByName):
+	// they override the preset's guest count, shootdown-storm interval
+	// (records) and per-tenant working-set phase count. 0 inherits the
+	// preset; they are the sweep engine's tenants=/churn=/phases= axes.
+	Tenants    int
+	ChurnEvery int
+	Phases     int
+
 	// SelfCheck runs every cell under differential verification: lockstep
 	// reference models shadow each TLB/cache/DRAM structure and a cell
 	// whose production models diverge from the references fails even if it
@@ -231,6 +240,11 @@ func SimulateCell(ctx context.Context, opts Options, name string, mode core.Mode
 	var res core.Result
 	err := resilience.RunWithTimeout(ctx, opts.WorkloadTimeout, func(ctx context.Context) error {
 		if err := opts.Faults.Fire(faultinject.WorkerSite(name, mode.String())); err != nil {
+			return err
+		}
+		if preset, ok := workloads.ConsolidationByName(name); ok {
+			var err error
+			res, err = runConsolidationCell(ctx, opts, preset, mode)
 			return err
 		}
 		p, ok := workloads.ByName(name)

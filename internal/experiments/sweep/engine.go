@@ -141,7 +141,9 @@ func (r *Report) WriteManifest(w io.Writer) error {
 // CSVHeader is the schema of the streamed results file.
 func CSVHeader() []string {
 	return []string{"cell", "workload", "scheme", "variant", "pom_mb", "pom_ways",
-		"cores", "seed", "p_avg", "walk_elim", "l1_hit", "l2_hit", "ipc"}
+		"cores", "seed", "tenants", "churn", "phases",
+		"p_avg", "walk_elim", "l1_hit", "l2_hit", "ipc",
+		"hot_elim", "warm_elim", "cold_elim"}
 }
 
 // csvRow renders one cell's result row. Formatting is fixed-precision so
@@ -156,6 +158,12 @@ func csvRow(c Cell, o experiments.Options, res core.Result) []string {
 	if ways == 0 {
 		ways = 4 // the paper's default associativity
 	}
+	tier := func(t int) string {
+		if !res.HasTiers() {
+			return ""
+		}
+		return ff(res.TierWalkElim(t))
+	}
 	return []string{
 		strconv.Itoa(c.Index),
 		c.Workload,
@@ -165,11 +173,17 @@ func csvRow(c Cell, o experiments.Options, res core.Result) []string {
 		strconv.Itoa(ways),
 		strconv.Itoa(o.Cores),
 		strconv.FormatUint(o.Seed, 10),
+		strconv.Itoa(o.Tenants),
+		strconv.Itoa(o.ChurnEvery),
+		strconv.Itoa(o.Phases),
 		ff(res.AvgPenalty()),
 		ff(res.WalkEliminationRate()),
 		ff(res.L1TLB.Ratio()),
 		ff(res.L2TLB.Ratio()),
 		ff(res.IPC()),
+		tier(0),
+		tier(1),
+		tier(2),
 	}
 }
 
@@ -197,9 +211,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		names = workloads.Names()
 	}
 	for _, n := range names {
-		if _, ok := workloads.ByName(n); !ok {
-			return nil, fmt.Errorf("sweep: unknown workload %q", n)
+		if _, ok := workloads.ByName(n); ok {
+			continue
 		}
+		if _, ok := workloads.ConsolidationByName(n); ok {
+			continue
+		}
+		return nil, fmt.Errorf("sweep: unknown workload %q", n)
 	}
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err

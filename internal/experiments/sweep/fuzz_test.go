@@ -21,6 +21,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("pom-mb=4:pom-mb=8")
 	f.Add("schemes=:cores=1")
 	f.Add(":::")
+	f.Add("tenants=16,128:churn=5000,-1:phases=2,3")
+	f.Add("tenants=0")
+	f.Add("churn=0")
+	f.Add("churn=-2")
+	f.Add("phases=1")
 	f.Fuzz(func(t *testing.T, s string) {
 		sp, err := ParseSpec(s)
 		if err != nil {
@@ -44,6 +49,21 @@ func FuzzParseSpec(f *testing.F) {
 		for _, v := range sp.Cores {
 			if v <= 0 {
 				t.Errorf("ParseSpec(%q) accepted cores=%d", s, v)
+			}
+		}
+		for _, v := range sp.Tenants {
+			if v <= 0 {
+				t.Errorf("ParseSpec(%q) accepted tenants=%d", s, v)
+			}
+		}
+		for _, v := range sp.Churn {
+			if v == 0 || v < -1 {
+				t.Errorf("ParseSpec(%q) accepted churn=%d", s, v)
+			}
+		}
+		for _, v := range sp.Phases {
+			if v <= 0 {
+				t.Errorf("ParseSpec(%q) accepted phases=%d", s, v)
 			}
 		}
 		canon := sp.Canonical()

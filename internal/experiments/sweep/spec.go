@@ -36,6 +36,15 @@ type Spec struct {
 	Cores []int
 	// Seeds sweeps the trace-generator seed (replication axis).
 	Seeds []uint64
+	// Tenants sweeps the consolidation guest count (consolidation
+	// workloads only; other cells ignore it).
+	Tenants []int
+	// Churn sweeps the shootdown-storm interval in records (-1 disables
+	// storms; consolidation workloads only).
+	Churn []int
+	// Phases sweeps the per-tenant working-set phase count
+	// (consolidation workloads only).
+	Phases []int
 }
 
 // Variant is one geometry point of the grid: zero fields inherit the
@@ -45,6 +54,9 @@ type Variant struct {
 	PomWays int
 	Cores   int
 	Seed    uint64
+	Tenants int
+	Churn   int
+	Phases  int
 }
 
 // Label renders the variant canonically ("pom-mb=4|pom-ways=2"); the
@@ -62,6 +74,15 @@ func (v Variant) Label() string {
 	}
 	if v.Seed != 0 {
 		parts = append(parts, "seed="+strconv.FormatUint(v.Seed, 10))
+	}
+	if v.Tenants != 0 {
+		parts = append(parts, "tenants="+strconv.Itoa(v.Tenants))
+	}
+	if v.Churn != 0 {
+		parts = append(parts, "churn="+strconv.Itoa(v.Churn))
+	}
+	if v.Phases != 0 {
+		parts = append(parts, "phases="+strconv.Itoa(v.Phases))
 	}
 	if len(parts) == 0 {
 		return "base"
@@ -103,6 +124,15 @@ func (c Cell) Options(base experiments.Options) experiments.Options {
 	if c.Variant.Seed != 0 {
 		o.Seed = c.Variant.Seed
 	}
+	if c.Variant.Tenants != 0 {
+		o.Tenants = c.Variant.Tenants
+	}
+	if c.Variant.Churn != 0 {
+		o.ChurnEvery = c.Variant.Churn
+	}
+	if c.Variant.Phases != 0 {
+		o.Phases = c.Variant.Phases
+	}
 	o.WorkloadTimeout = 0
 	o.Checkpoint = nil
 	o.Workloads = nil
@@ -114,9 +144,11 @@ func (c Cell) Options(base experiments.Options) experiments.Options {
 //
 //	schemes=pom-tlb,tsb:pom-mb=4,8,16:pom-ways=2,4
 //
-// Axes: schemes, pom-mb, pom-ways, cores, seeds. Unknown axes, duplicate
-// axes, empty value lists, unparsable numbers and non-positive geometry
-// are rejected up front so a bad sweep fails before any cell runs.
+// Axes: schemes, pom-mb, pom-ways, cores, seeds, tenants, churn, phases.
+// The last three apply to consolidation workloads only; churn accepts -1
+// to disable storms. Unknown axes, duplicate axes, empty value lists,
+// unparsable numbers and non-positive geometry are rejected up front so a
+// bad sweep fails before any cell runs.
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	if strings.TrimSpace(s) == "" {
@@ -156,8 +188,14 @@ func ParseSpec(s string) (Spec, error) {
 			spec.Cores, err = parseInts(name, list)
 		case "seeds":
 			spec.Seeds, err = parseUints(name, list)
+		case "tenants":
+			spec.Tenants, err = parseInts(name, list)
+		case "churn":
+			spec.Churn, err = parseChurn(list)
+		case "phases":
+			spec.Phases, err = parseInts(name, list)
 		default:
-			err = fmt.Errorf("sweep: unknown axis %q (axes: schemes, pom-mb, pom-ways, cores, seeds)", name)
+			err = fmt.Errorf("sweep: unknown axis %q (axes: schemes, pom-mb, pom-ways, cores, seeds, tenants, churn, phases)", name)
 		}
 		if err != nil {
 			return spec, err
@@ -210,6 +248,20 @@ func parseInts(axis string, list []string) ([]int, error) {
 	return out, nil
 }
 
+// parseChurn parses the storm-interval axis: positive record counts, or
+// -1 for "storms off" (0 would collide with the inherit sentinel).
+func parseChurn(list []string) ([]int, error) {
+	var out []int
+	for _, s := range list {
+		v, err := strconv.Atoi(s)
+		if err != nil || v == 0 || v < -1 {
+			return nil, fmt.Errorf("sweep: axis churn: value %q must be a positive interval or -1 (off)", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // Canonical renders the spec in fixed axis order with its original value
 // order — the string hashed into the journal fingerprint, so any geometry
 // change (values, order, a new axis) refuses to resume an old journal.
@@ -233,6 +285,15 @@ func (s Spec) Canonical() string {
 	}
 	if len(s.Seeds) > 0 {
 		parts = append(parts, "seeds="+joinUints(s.Seeds))
+	}
+	if len(s.Tenants) > 0 {
+		parts = append(parts, "tenants="+joinInts(s.Tenants))
+	}
+	if len(s.Churn) > 0 {
+		parts = append(parts, "churn="+joinInts(s.Churn))
+	}
+	if len(s.Phases) > 0 {
+		parts = append(parts, "phases="+joinInts(s.Phases))
 	}
 	return strings.Join(parts, ":")
 }
@@ -260,12 +321,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: cores=%d exceeds the 256-core trace limit", c)
 		}
 	}
+	for _, t := range s.Tenants {
+		if t < 3 {
+			return fmt.Errorf("sweep: tenants=%d below the 3-guest minimum (hot/warm/cold tiers)", t)
+		}
+		if t > 60_000 {
+			return fmt.Errorf("sweep: tenants=%d exceeds the 60000-guest VA-window limit", t)
+		}
+	}
 	return nil
 }
 
 // Cells enumerates the grid deterministically: workloads (outer), then
-// schemes, capacity, ways, cores, seeds (inner). The enumeration order
-// defines each cell's Index and therefore the CSV row order.
+// schemes, capacity, ways, cores, seeds, tenants, churn, phases (inner).
+// The enumeration order defines each cell's Index and therefore the CSV
+// row order.
 func (s Spec) Cells(workloadNames []string) []Cell {
 	schemes := s.Schemes
 	if len(schemes) == 0 {
@@ -275,6 +345,9 @@ func (s Spec) Cells(workloadNames []string) []Cell {
 	ways := orInheritI(s.PomWays)
 	cores := orInheritI(s.Cores)
 	seeds := orInheritU(s.Seeds)
+	tenants := orInheritI(s.Tenants)
+	churn := orInheritI(s.Churn)
+	phases := orInheritI(s.Phases)
 
 	var cells []Cell
 	for _, w := range workloadNames {
@@ -283,12 +356,19 @@ func (s Spec) Cells(workloadNames []string) []Cell {
 				for _, wy := range ways {
 					for _, cr := range cores {
 						for _, sd := range seeds {
-							cells = append(cells, Cell{
-								Index:    len(cells),
-								Workload: w,
-								Mode:     m,
-								Variant:  Variant{PomMB: mb, PomWays: wy, Cores: cr, Seed: sd},
-							})
+							for _, tn := range tenants {
+								for _, ch := range churn {
+									for _, ph := range phases {
+										cells = append(cells, Cell{
+											Index:    len(cells),
+											Workload: w,
+											Mode:     m,
+											Variant: Variant{PomMB: mb, PomWays: wy, Cores: cr, Seed: sd,
+												Tenants: tn, Churn: ch, Phases: ph},
+										})
+									}
+								}
+							}
 						}
 					}
 				}
@@ -313,6 +393,9 @@ func (s Spec) Size(workloads int) int {
 	mul(len(s.PomWays))
 	mul(len(s.Cores))
 	mul(len(s.Seeds))
+	mul(len(s.Tenants))
+	mul(len(s.Churn))
+	mul(len(s.Phases))
 	return n
 }
 

@@ -1,0 +1,69 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+
+	// Blank import: registers the consolidation composite generators so
+	// the conformance suite covers them too.
+	_ "repro/internal/consolidation"
+)
+
+func collect(g trace.Generator, n int) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func firstDiff(a, b []trace.Record) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestGeneratorConformance is the table-test every registered generator
+// factory must pass: seed determinism (two instances with the same seed
+// emit identical streams), Reset ⇒ byte-identical replay (including
+// mid-stream resets at awkward offsets), and seed sensitivity. New
+// generators get this coverage by registering a factory — nothing else.
+func TestGeneratorConformance(t *testing.T) {
+	facs := trace.Factories()
+	if len(facs) < 9 {
+		t.Fatalf("only %d registered generator factories; the built-ins plus consolidation should be at least 9", len(facs))
+	}
+	for _, f := range facs {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			const n = 5000
+			g := f.New(42)
+			first := collect(g, n)
+
+			if i := firstDiff(first, collect(f.New(42), n)); i >= 0 {
+				t.Fatalf("two instances with seed 42 diverge at record %d", i)
+			}
+
+			g.Reset()
+			if i := firstDiff(first, collect(g, n)); i >= 0 {
+				t.Fatalf("replay after Reset diverges at record %d", i)
+			}
+
+			g2 := f.New(42)
+			collect(g2, 777) // mid-stream, mid-quantum, mid-run offset
+			g2.Reset()
+			if i := firstDiff(first, collect(g2, n)); i >= 0 {
+				t.Fatalf("replay after mid-stream Reset diverges at record %d", i)
+			}
+
+			if firstDiff(first, collect(f.New(43), n)) < 0 {
+				t.Error("seed 43 replays seed 42's stream: seed has no effect")
+			}
+		})
+	}
+}

@@ -60,6 +60,16 @@ type Params struct {
 	RunLines int
 }
 
+// Regions reports the virtual-address regions the params' layout
+// produces: [largeBase, largeBase+largeBytes) is backed by 2 MB pages,
+// [smallBase, smallBase+smallBytes) by 4 KB pages. Scenario layers use
+// it to aim shootdowns at addresses a generator can actually emit. The
+// params must be valid.
+func (p Params) Regions() (largeBase, largeBytes, smallBase, smallBytes uint64) {
+	l := newLayout(p)
+	return l.largeBase, l.largeBytes, l.smallBase, l.smallBytes
+}
+
 // Validate reports parameter errors.
 func (p Params) Validate() error {
 	switch {
@@ -137,6 +147,19 @@ func newBase(p Params) base {
 	}
 }
 
+// reset restores the shared state to its post-newBase value without
+// reallocating. Campaigns and the sweep engine reset generators once per
+// cell; rebuilding what only depends on the immutable params there is
+// pure waste (and, for Zipf, a million-entry CDF per reset).
+func (b *base) reset() {
+	*b.r = rng{s: b.p.Seed ^ 0x9E3779B97F4A7C15}
+	b.thread = 0
+	for i := range b.runLeft {
+		b.runLeft[i] = 0
+		b.runPos[i] = 0
+	}
+}
+
 // emitWithRuns emits either the next line of the current thread's
 // sequential run or a fresh pattern target from pick.
 func (b *base) emitWithRuns(pick func() uint64) Record {
@@ -190,8 +213,10 @@ func NewStream(p Params) *Stream {
 
 // Reset implements Generator.
 func (s *Stream) Reset() {
-	s.base = newBase(s.p)
-	s.cursors = make([]uint64, s.p.Threads)
+	s.base.reset()
+	if s.cursors == nil {
+		s.cursors = make([]uint64, s.p.Threads)
+	}
 	slice := s.l.footprint() / uint64(s.p.Threads)
 	for t := range s.cursors {
 		s.cursors[t] = uint64(t) * slice
@@ -216,7 +241,7 @@ func NewUniform(p Params) *Uniform {
 }
 
 // Reset implements Generator.
-func (u *Uniform) Reset() { u.base = newBase(u.p) }
+func (u *Uniform) Reset() { u.base.reset() }
 
 // Next implements Generator.
 func (u *Uniform) Next() Record {
@@ -229,10 +254,17 @@ func (u *Uniform) Next() Record {
 // touched rarely.
 type Zipf struct {
 	base
-	s    float64
-	cdf  []float64
-	perm uint64 // multiplicative scramble so rank ≠ address order
+	s     float64
+	cdf   []float64
+	pages uint64  // full page universe; cdf covers min(pages, maxZipfCDF)
+	tailP float64 // popularity mass of the uniform tail past the CDF
+	perm  uint64  // multiplicative scramble so rank ≠ address order
 }
+
+// maxZipfCDF caps the explicit CDF at 1M ranks (4 GiB of 4 KB pages);
+// footprints beyond it keep their popularity mass in an analytic uniform
+// tail rather than an ever-larger table.
+const maxZipfCDF = 1 << 20
 
 // NewZipf builds a Zipf generator with skew s (s > 0; ~0.9 for graphs).
 func NewZipf(p Params, s float64) *Zipf {
@@ -245,41 +277,63 @@ func NewZipf(p Params, s float64) *Zipf {
 }
 
 func (z *Zipf) build() {
-	pages := z.l.footprint() / addr.Bytes4K
-	if pages > 1<<20 {
-		pages = 1 << 20 // cap CDF size; popularity tail beyond is uniform
+	z.pages = z.l.footprint() / addr.Bytes4K
+	n := z.pages
+	if n > maxZipfCDF {
+		n = maxZipfCDF
 	}
-	z.cdf = make([]float64, pages)
+	z.cdf = make([]float64, n)
 	sum := 0.0
 	for i := range z.cdf {
 		sum += 1 / math.Pow(float64(i+1), z.s)
 		z.cdf[i] = sum
 	}
-	for i := range z.cdf {
-		z.cdf[i] /= sum
+	// Pages past the CDF cap keep their Zipf popularity mass — the sum
+	// over the tail ranks, approximated by the integral of x^-s — and a
+	// draw landing there spreads uniformly over the tail pages. Without
+	// this the cap silently shrank the page universe: no reference could
+	// ever land beyond 4 GiB no matter the footprint.
+	tail := 0.0
+	if z.pages > n {
+		tail = zipfTailMass(float64(n), float64(z.pages), z.s)
 	}
+	total := sum + tail
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	z.tailP = tail / total
 	z.perm = 0x9E3779B97F4A7C15 | 1
 }
 
-// Reset implements Generator.
-func (z *Zipf) Reset() {
-	z.base = newBase(z.p)
-	z.build()
+// zipfTailMass approximates Σ_{i=lo+1..hi} i^-s by ∫_lo^hi x^-s dx.
+func zipfTailMass(lo, hi, s float64) float64 {
+	if s == 1 {
+		return math.Log(hi / lo)
+	}
+	return (math.Pow(hi, 1-s) - math.Pow(lo, 1-s)) / (1 - s)
 }
+
+// Reset implements Generator. The CDF depends only on the immutable
+// params, so it survives resets; only the RNG/thread/run state rewinds.
+func (z *Zipf) Reset() { z.base.reset() }
 
 // Next implements Generator.
 func (z *Zipf) Next() Record {
 	return z.emitWithRuns(func() uint64 {
-		rank := uint64(sort.SearchFloat64s(z.cdf, z.r.Float64()))
-		if rank >= uint64(len(z.cdf)) {
-			rank = uint64(len(z.cdf)) - 1
+		var rank uint64
+		u := z.r.Float64()
+		if n := uint64(len(z.cdf)); u >= z.cdf[n-1] {
+			// Uniform tail: every page past the CDF cap equally likely.
+			rank = n + z.r.Intn(z.pages-n)
+		} else {
+			rank = uint64(sort.SearchFloat64s(z.cdf, u))
 		}
 		// Rank maps directly to page order: graph layouts store hubs
 		// contiguously (degree-sorted), so the hot pages are neighbours —
 		// which is what gives their POM-TLB set lines reuse. Hubs start
-		// at the 4 KB region so the hot set stresses the TLBs.
-		pages := z.l.footprint() / addr.Bytes4K
-		page := (z.l.largeBytes/addr.Bytes4K + rank) % pages
+		// at the 4 KB region so the hot set stresses the TLBs. The modulo
+		// wraps over the same z.pages universe the CDF was built against.
+		page := (z.l.largeBytes/addr.Bytes4K + rank) % z.pages
 		return page*addr.Bytes4K + z.r.Intn(addr.Bytes4K)
 	})
 }
@@ -319,8 +373,10 @@ func (g *Chase) init() {
 
 // Reset implements Generator.
 func (g *Chase) Reset() {
-	g.base = newBase(g.p)
-	g.init()
+	g.base.reset()
+	for t := range g.cursors {
+		g.cursors[t] = uint64(t) * (g.lines / uint64(g.p.Threads))
+	}
 }
 
 // Next implements Generator.
@@ -373,12 +429,9 @@ func (g *HotCold) place(hotFrac float64) {
 	g.hotFrac = hotFrac
 }
 
-// Reset implements Generator.
-func (g *HotCold) Reset() {
-	frac := g.hotFrac
-	g.base = newBase(g.p)
-	g.place(frac)
-}
+// Reset implements Generator. The hot-region placement depends only on
+// the immutable params, so it survives resets.
+func (g *HotCold) Reset() { g.base.reset() }
 
 // Next implements Generator.
 func (g *HotCold) Next() Record {
@@ -412,7 +465,7 @@ func NewMix(a, b Generator, pA float64, seed uint64) *Mix {
 func (m *Mix) Reset() {
 	m.A.Reset()
 	m.B.Reset()
-	m.rnd = newRNG(m.seed)
+	*m.rnd = rng{s: m.seed ^ 0x9E3779B97F4A7C15}
 	m.count = 0
 }
 

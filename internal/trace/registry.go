@@ -1,0 +1,68 @@
+package trace
+
+// Factory names one replayable generator construction: New must return a
+// fresh generator whose stream is fully determined by the seed.
+type Factory struct {
+	Name string
+	New  func(seed uint64) Generator
+}
+
+var factories []Factory
+
+// RegisterFactory adds a named generator construction to the conformance
+// registry. Every registered factory is covered automatically by the
+// generator conformance suite (Reset ⇒ byte-identical replay, seed
+// determinism); packages that define composing generators register a
+// representative configuration at init time. Duplicate names panic.
+func RegisterFactory(name string, fn func(seed uint64) Generator) {
+	if name == "" || fn == nil {
+		panic("trace: RegisterFactory needs a name and a constructor")
+	}
+	for _, f := range factories {
+		if f.Name == name {
+			panic("trace: generator factory " + name + " registered twice")
+		}
+	}
+	factories = append(factories, Factory{Name: name, New: fn})
+}
+
+// Factories returns the registered factories in registration order.
+func Factories() []Factory {
+	out := make([]Factory, len(factories))
+	copy(out, factories)
+	return out
+}
+
+// confParams is a representative mid-sized configuration for the
+// conformance registry: several threads, mixed page sizes, gaps, writes
+// and spatial runs so every code path in base is exercised.
+func confParams(seed uint64) Params {
+	return Params{
+		Seed:           seed,
+		FootprintBytes: 6 << 20,
+		LargeFrac:      0.25,
+		Threads:        3,
+		MeanGap:        5,
+		WriteFrac:      0.3,
+		RunLines:       8,
+	}
+}
+
+func init() {
+	RegisterFactory("stream", func(seed uint64) Generator { return NewStream(confParams(seed)) })
+	RegisterFactory("uniform", func(seed uint64) Generator { return NewUniform(confParams(seed)) })
+	RegisterFactory("zipf", func(seed uint64) Generator { return NewZipf(confParams(seed), 0.9) })
+	RegisterFactory("chase", func(seed uint64) Generator { return NewChase(confParams(seed)) })
+	RegisterFactory("hotcold", func(seed uint64) Generator { return NewHotCold(confParams(seed), 0.2, 0.8) })
+	RegisterFactory("mix", func(seed uint64) Generator {
+		return NewMix(NewStream(confParams(seed)), NewZipf(confParams(seed^0xA5A5), 1.05), 0.7, seed)
+	})
+	RegisterFactory("phased", func(seed uint64) Generator {
+		small := confParams(seed ^ 0x5A5A)
+		small.FootprintBytes = 2 << 20
+		return NewPhased(
+			Phase{Records: 1000, Gen: NewUniform(confParams(seed))},
+			Phase{Records: 500, Gen: NewUniform(small)},
+		)
+	})
+}

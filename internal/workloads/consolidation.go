@@ -1,0 +1,160 @@
+package workloads
+
+// Consolidation describes a multi-VM cloud-consolidation scenario: a
+// cardinality-tiered tenant pool (few hot guests, a warm middle, a long
+// cold tail) with Zipf-distributed tenant hotness, gang-scheduled onto
+// the simulated cores, optionally with shootdown/flush storms and
+// phase-changing working sets. Unlike the Table-2 profiles these are not
+// calibrated against measured applications — they synthesize the regime
+// the paper's §2 motivates (hundreds of guests sharing one translation
+// hierarchy), so all schemes run with simulated walks.
+type Consolidation struct {
+	Name        string
+	Description string
+	// Guests is the tenant count; tenant i occupies VMID i+1, PID 1.
+	Guests int
+	// HotFrac and WarmFrac split the guests into popularity tiers (the
+	// remainder is the cold tail). Each tier rounds to at least one
+	// tenant.
+	HotFrac  float64
+	WarmFrac float64
+	// TenantSkew is the Zipf exponent over tenant popularity ranks:
+	// higher = the hot guests dominate harder.
+	TenantSkew float64
+	// QuantumRecords is the gang-scheduling quantum: every Quantum
+	// consumed records every core switches to its next planned tenant.
+	QuantumRecords uint64
+	// ChurnEvery schedules a shootdown storm every N consumed records
+	// (0 = no churn).
+	ChurnEvery uint64
+	// StormShootdowns is how many page shootdowns one storm fires.
+	StormShootdowns int
+	// MigrateEveryStorms makes every Nth storm also flush one victim
+	// tenant end to end (VM migration / ballooning; 0 = never).
+	MigrateEveryStorms int
+	// Phases > 1 gives every tenant a phase-changing working set that
+	// grows/shrinks at trace-relative boundaries.
+	Phases int
+	// Hot/Warm/Cold are the per-tier tenant trace profiles (Pattern +
+	// synthetic knobs are used; the measured Table-2 scalars are not).
+	Hot, Warm, Cold Profile
+}
+
+// consolidationTable holds the built-in scenario presets. Footprints are
+// deliberately modest: a hundred-guest pool must stay simulable, and the
+// point is translation-capacity pressure from many address spaces, not
+// from any single giant one.
+var consolidationTable = []Consolidation{
+	{
+		Name:           "consol-zipf",
+		Description:    "120 Zipf-popular guests, stationary working sets, no churn",
+		Guests:         120,
+		HotFrac:        0.05,
+		WarmFrac:       0.25,
+		TenantSkew:     1.1,
+		QuantumRecords: 4096,
+		Hot:            consolHot,
+		Warm:           consolWarm,
+		Cold:           consolCold,
+	},
+	{
+		Name:               "consol-churn",
+		Description:        "120 guests with shootdown storms and periodic tenant migration flushes",
+		Guests:             120,
+		HotFrac:            0.05,
+		WarmFrac:           0.25,
+		TenantSkew:         1.1,
+		QuantumRecords:     4096,
+		ChurnEvery:         20_000,
+		StormShootdowns:    16,
+		MigrateEveryStorms: 2,
+		Hot:                consolHot,
+		Warm:               consolWarm,
+		Cold:               consolCold,
+	},
+	{
+		Name:           "consol-phases",
+		Description:    "96 guests whose working sets grow/shrink across 3 phases",
+		Guests:         96,
+		HotFrac:        0.06,
+		WarmFrac:       0.25,
+		TenantSkew:     1.0,
+		QuantumRecords: 4096,
+		Phases:         3,
+		Hot:            consolHot,
+		Warm:           consolWarm,
+		Cold:           consolCold,
+	},
+	{
+		Name:               "consol-smoke",
+		Description:        "16 small guests with light churn — CI-sized scenario",
+		Guests:             16,
+		HotFrac:            0.125,
+		WarmFrac:           0.25,
+		TenantSkew:         1.1,
+		QuantumRecords:     2048,
+		ChurnEvery:         6_000,
+		StormShootdowns:    8,
+		MigrateEveryStorms: 3,
+		Hot:                consolSmokeHot,
+		Warm:               consolSmokeWarm,
+		Cold:               consolSmokeCold,
+	},
+}
+
+// Per-tier tenant profiles: hot guests look like graph/analytics hubs
+// (power-law pages, some THP), warm guests like services with a resident
+// working set, cold guests like mostly idle tails with small uniform
+// footprints.
+var (
+	consolHot = Profile{
+		Name: "consol-hot", Pattern: PowerLaw, FootprintBytes: 48 << 20,
+		Skew: 0.95, LargePagePct: 25, RunLines: 8, MeanGap: 6, WriteFrac: 0.15,
+	}
+	consolWarm = Profile{
+		Name: "consol-warm", Pattern: WorkingSet, FootprintBytes: 16 << 20,
+		HotFrac: 0.35, PHot: 0.9, RunLines: 16, MeanGap: 6, WriteFrac: 0.25,
+	}
+	consolCold = Profile{
+		Name: "consol-cold", Pattern: UniformRandom, FootprintBytes: 4 << 20,
+		RunLines: 4, MeanGap: 8, WriteFrac: 0.3,
+	}
+	consolSmokeHot = Profile{
+		Name: "consol-smoke-hot", Pattern: PowerLaw, FootprintBytes: 8 << 20,
+		Skew: 0.95, LargePagePct: 25, RunLines: 8, MeanGap: 4, WriteFrac: 0.15,
+	}
+	consolSmokeWarm = Profile{
+		Name: "consol-smoke-warm", Pattern: WorkingSet, FootprintBytes: 3 << 20,
+		HotFrac: 0.35, PHot: 0.9, RunLines: 8, MeanGap: 4, WriteFrac: 0.25,
+	}
+	consolSmokeCold = Profile{
+		Name: "consol-smoke-cold", Pattern: UniformRandom, FootprintBytes: 1 << 20,
+		RunLines: 4, MeanGap: 5, WriteFrac: 0.3,
+	}
+)
+
+// Consolidations returns all scenario presets.
+func Consolidations() []Consolidation {
+	out := make([]Consolidation, len(consolidationTable))
+	copy(out, consolidationTable)
+	return out
+}
+
+// ConsolidationNames returns the preset names in table order.
+func ConsolidationNames() []string {
+	names := make([]string, len(consolidationTable))
+	for i, c := range consolidationTable {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ConsolidationByName finds a scenario preset.
+func ConsolidationByName(name string) (Consolidation, bool) {
+	for _, c := range consolidationTable {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Consolidation{}, false
+}

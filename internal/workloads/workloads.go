@@ -78,6 +78,7 @@ type Profile struct {
 	RunLines       int     // sequential-run length (spatial locality)
 	MeanGap        uint32  // non-memory instructions between references
 	WriteFrac      float64
+	BaseVA         uint64 // heap base (0 = trace default)
 }
 
 // VirtOverNativeRatio returns the Figure 3 ratio: virtualized translation
@@ -100,6 +101,7 @@ func (p Profile) Generator(threads int, seed uint64) trace.Generator {
 		MeanGap:        p.MeanGap,
 		WriteFrac:      p.WriteFrac,
 		RunLines:       p.RunLines,
+		BaseVA:         p.BaseVA,
 	}
 	switch p.Pattern {
 	case Streaming:
